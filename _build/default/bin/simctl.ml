@@ -1,0 +1,231 @@
+(* simctl — drive the split-memory simulator from the command line:
+   run attacks under a chosen defense and response mode, inspect logs,
+   and run individual workloads. *)
+
+open Cmdliner
+
+let defense_conv =
+  let parse = function
+    | "none" | "unprotected" -> Ok Defense.unprotected
+    | "nx" -> Ok Defense.nx
+    | "split" -> Ok Defense.split_standalone
+    | "split+nx" -> Ok Defense.split_mixed_plus_nx
+    | "soft-tlb" -> Ok Defense.split_soft_tlb
+    | "dual-cr3" -> Ok Defense.split_dual_cr3
+    | s -> (
+      match int_of_string_opt (Filename.chop_suffix_opt ~suffix:"%" s |> Option.value ~default:"") with
+      | Some pct when pct >= 0 && pct <= 100 -> Ok (Defense.split_fraction pct)
+      | _ -> Error (`Msg (Fmt.str "unknown defense %S (none|nx|split|split+nx|<pct>%%)" s)))
+  in
+  Arg.conv (parse, fun ppf d -> Fmt.string ppf (Defense.name d))
+
+let defense_arg =
+  Arg.(
+    value
+    & opt defense_conv Defense.split_standalone
+    & info [ "d"; "defense" ] ~docv:"DEFENSE"
+        ~doc:"Protection: none, nx, split, split+nx, soft-tlb, dual-cr3, or N% (fraction split + nx).")
+
+let response_conv =
+  let parse = function
+    | "break" -> Ok Split_memory.Response.Break
+    | "observe" -> Ok (Split_memory.Response.Observe { sebek = true })
+    | "forensics" -> Ok (Split_memory.Response.Forensics { payload = None })
+    | "forensics-exit" ->
+      Ok (Split_memory.Response.Forensics { payload = Some Attack.Shellcode.exit0 })
+    | s -> Error (`Msg (Fmt.str "unknown response %S" s))
+  in
+  Arg.conv (parse, fun ppf r -> Fmt.string ppf (Split_memory.Response.name r))
+
+let response_arg =
+  Arg.(
+    value
+    & opt (some response_conv) None
+    & info [ "r"; "response" ] ~docv:"MODE"
+        ~doc:"Response mode: break, observe, forensics, forensics-exit (forces split defense).")
+
+let apply_response defense = function
+  | None -> defense
+  | Some response -> Defense.split_with ~response ()
+
+let show_outcome_and_log outcome (k : Kernel.Os.t) =
+  Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name outcome);
+  Fmt.pr "--- kernel log ---@.%a@." Kernel.Event_log.pp (Kernel.Os.log k)
+
+(* attack command *)
+
+let attack_names =
+  [
+    ("apache", `Real Attack.Realworld.Apache_ssl);
+    ("bind", `Real Attack.Realworld.Bind);
+    ("proftpd", `Real Attack.Realworld.Proftpd);
+    ("samba", `Real Attack.Realworld.Samba);
+    ("wuftpd", `Real Attack.Realworld.Wuftpd);
+    ("nx-bypass", `Nx_bypass);
+    ("mixed-page", `Mixed);
+  ]
+
+let attack_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum attack_names)) None
+    & info [] ~docv:"ATTACK"
+        ~doc:"One of: apache, bind, proftpd, samba, wuftpd, nx-bypass, mixed-page.")
+
+let attack_cmd =
+  let run defense response which =
+    let defense = apply_response defense response in
+    match which with
+    | `Real Attack.Realworld.Wuftpd ->
+      let o, s = Attack.Realworld.run_wuftpd ~defense () in
+      show_outcome_and_log o s.k
+    | `Real id ->
+      let s = Attack.Runner.start ~defense (Attack.Realworld.victim id) in
+      ignore s;
+      let o = Attack.Realworld.run ~defense id in
+      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o)
+    | `Nx_bypass ->
+      let o = Attack.Bypass.run_nx_bypass ~defense () in
+      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o)
+    | `Mixed ->
+      let o = Attack.Bypass.run_mixed_page ~defense () in
+      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o)
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run a real-world attack simulation under a defense.")
+    Term.(const run $ defense_arg $ response_arg $ attack_arg)
+
+(* grid command *)
+
+let grid_cmd =
+  let run defense =
+    List.iter
+      (fun t ->
+        List.iter
+          (fun l ->
+            let o = Attack.Wilander.run ~defense t l in
+            Fmt.pr "%-34s %-6s %s@."
+              (Attack.Wilander.technique_name t)
+              (Attack.Wilander.location_name l)
+              (Attack.Runner.outcome_name o))
+          Attack.Wilander.locations)
+      Attack.Wilander.techniques
+  in
+  Cmd.v
+    (Cmd.info "grid" ~doc:"Run the 9x4 Wilander-style attack grid under a defense.")
+    Term.(const run $ defense_arg)
+
+(* workload command *)
+
+let workload_names =
+  [
+    ("apache32k", `Apache 32768);
+    ("apache1k", `Apache 1024);
+    ("gzip", `Gzip);
+    ("nbench", `Nbench);
+    ("ctxsw", `Ctxsw);
+    ("unixbench", `Unixbench);
+  ]
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum workload_names)) None
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"One of: apache32k, apache1k, gzip, nbench, ctxsw, unixbench.")
+
+let workload_cmd =
+  let run defense which =
+    let show (r : Workload.Harness.result) =
+      Fmt.pr
+        "%s under %s: %d cycles, %d insns, %d traps, %d split faults, %d ctx switches@."
+        r.label r.defense r.cycles r.insns r.traps r.split_faults r.ctx_switches
+    in
+    match which with
+    | `Apache size ->
+      show (Workload.Figures.run_apache ~defense ~size ~requests:25)
+    | `Gzip -> show (Workload.Figures.run_gzip ~defense ~size:(48 * 1024))
+    | `Nbench -> show (Workload.Harness.run_single ~defense (Workload.Guests.nbench ~iters:60 ()))
+    | `Ctxsw -> show (Workload.Figures.run_ctxsw ~defense ~iters:250)
+    | `Unixbench ->
+      List.iter
+        (fun (name, v) -> Fmt.pr "%-20s %.3f@." name v)
+        (Workload.Figures.unixbench_pieces ~defense)
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run a benchmark workload under a defense and print counters.")
+    Term.(const run $ defense_arg $ workload_arg)
+
+(* disasm / layout commands *)
+
+let image_names =
+  [
+    ("apache", fun () -> Attack.Realworld.victim Attack.Realworld.Apache_ssl);
+    ("bind", fun () -> Attack.Realworld.victim Attack.Realworld.Bind);
+    ("proftpd", fun () -> Attack.Realworld.victim Attack.Realworld.Proftpd);
+    ("samba", fun () -> Attack.Realworld.victim Attack.Realworld.Samba);
+    ("wuftpd", fun () -> Attack.Realworld.victim Attack.Realworld.Wuftpd);
+    ("plugin-host", Attack.Bypass.plugin_host);
+    ("javavm", Attack.Bypass.jit_victim);
+    ("bank", Attack.Limitations.bank_victim);
+    ("launcher", Attack.Limitations.launcher_victim);
+    ("smc", Attack.Limitations.smc_victim);
+  ]
+
+let image_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum image_names)) None
+    & info [] ~docv:"IMAGE"
+        ~doc:
+          "One of: apache, bind, proftpd, samba, wuftpd, plugin-host, javavm, bank, \
+           launcher, smc.")
+
+let disasm_cmd =
+  let run mk =
+    let image = mk () in
+    List.iter
+      (fun (seg : Kernel.Image.segment) ->
+        match seg.kind with
+        | Kernel.Image.Code | Kernel.Image.Lib | Kernel.Image.Mixed ->
+          Fmt.pr "; segment %s at 0x%08x (%d bytes)@." (Kernel.Image.seg_kind_name seg.kind)
+            seg.base (String.length seg.bytes);
+          Fmt.pr "%s@.@."
+            (Isa.Disasm.to_string ~base:seg.base seg.bytes ~pos:0
+               ~len:(String.length seg.bytes))
+        | Kernel.Image.Rodata | Kernel.Image.Data -> ())
+      image.Kernel.Image.segments
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a victim image's code segments.")
+    Term.(const run $ image_arg)
+
+let layout_cmd =
+  let run mk =
+    let image = mk () in
+    Fmt.pr "image %s, entry 0x%08x, bss %d bytes, signature %x@."
+      image.Kernel.Image.name image.entry image.bss_size image.signature;
+    List.iter
+      (fun (seg : Kernel.Image.segment) ->
+        Fmt.pr "  %-7s 0x%08x..0x%08x %s@."
+          (Kernel.Image.seg_kind_name seg.kind)
+          seg.base
+          (seg.base + String.length seg.bytes)
+          (if seg.writable then "rw" else "ro"))
+      image.segments;
+    let labels =
+      Hashtbl.fold (fun l a acc -> (a, l) :: acc) image.labels [] |> List.sort compare
+    in
+    List.iter (fun (a, l) -> Fmt.pr "  %-24s 0x%08x@." l a) labels
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Print a victim image's segments and labels.")
+    Term.(const run $ image_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "simctl" ~version:"1.0.0"
+       ~doc:"Split-memory virtual Harvard architecture simulator control tool.")
+    [ attack_cmd; grid_cmd; workload_cmd; disasm_cmd; layout_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/dynamic_plugins.ml: Fmt Guest Isa Kernel List Split_memory

@@ -1,0 +1,1 @@
+examples/forensics_demo.ml: Attack Defense Fmt Isa Kernel List Split_memory String

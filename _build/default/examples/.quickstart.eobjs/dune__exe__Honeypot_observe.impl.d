@@ -1,0 +1,1 @@
+examples/honeypot_observe.ml: Attack Defense Fmt Kernel List Split_memory

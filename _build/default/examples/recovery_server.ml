@@ -1,0 +1,56 @@
+(* Recovery mode (paper §4.5, proposed as future work): a server registers
+   an attack-recovery callback with the kernel at startup; when split
+   memory detects injected code about to run, the kernel transfers
+   execution to the callback instead of crashing the process — the
+   application gets a chance to report and shut down gracefully.
+
+   Run with: dune exec examples/recovery_server.exe *)
+
+open Isa.Asm
+
+let resilient_server () =
+  Kernel.Image.build ~name:"resilient-server"
+    ~data:(fun ~lbl:_ ->
+      [ L "buf"; Space 64; L "banner"; Bytes "ready\n"; L "msg"; Bytes "attack survived; state saved; bye\n" ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        (* sigrecover(on_attack) *)
+        I (Mov_ri (EAX, 48));
+        I (Mov_ri (EBX, lbl "on_attack"));
+        I (Int 0x80);
+      ]
+      @ Guest.sys_write_imm ~buf:(lbl "banner") ~len:6 ()
+      @ Guest.sys_read_imm ~buf:(lbl "buf") ~len:64
+      (* the bug: jump into attacker-controlled bytes *)
+      @ [ I (Mov_ri (ESI, lbl "buf")); I (Jmp_r ESI) ]
+      @ [
+          L "on_attack";
+          (* eax = the EIP the attack tried to execute; rebuild a stack,
+             checkpoint/report, exit gracefully *)
+          I (Mov_ri (ESP, Kernel.Layout.initial_esp));
+        ]
+      @ Guest.sys_write_imm ~buf:(lbl "msg") ~len:34 ()
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+let () =
+  let image = resilient_server () in
+  let attack defense =
+    let s = Attack.Runner.start ~defense image in
+    ignore (Attack.Runner.step s);
+    let buf = Kernel.Image.label image "buf" in
+    Attack.Runner.send s (Attack.Shellcode.execve_bin_sh ~sled:8 ~base:buf ());
+    ignore (Attack.Runner.step s);
+    Fmt.pr "under %-30s -> %s@." (Defense.name defense)
+      (Attack.Runner.outcome_name (Attack.Runner.outcome s));
+    Fmt.pr "  server output: %S@." (Kernel.Os.read_stdout s.k s.victim);
+    List.iter
+      (fun e -> Fmt.pr "  %a@." Kernel.Event_log.pp_event e)
+      (Kernel.Event_log.to_list (Kernel.Os.log s.k));
+    Fmt.pr "@."
+  in
+  Fmt.pr "same exploit, three responses:@.@.";
+  attack Defense.unprotected;
+  attack Defense.split_standalone;
+  attack (Defense.split_with ~response:Split_memory.Response.Recovery ())

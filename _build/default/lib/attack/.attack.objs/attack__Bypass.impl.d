@@ -1,0 +1,1 @@
+lib/attack/bypass.ml: Guest Isa Kernel Runner Shellcode String

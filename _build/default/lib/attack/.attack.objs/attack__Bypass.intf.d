@@ -1,0 +1,1 @@
+lib/attack/bypass.mli: Defense Kernel Runner

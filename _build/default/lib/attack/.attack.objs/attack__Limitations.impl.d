@@ -1,0 +1,1 @@
+lib/attack/limitations.ml: Guest Isa Kernel Runner Shellcode String

@@ -1,0 +1,1 @@
+lib/attack/limitations.mli: Defense Kernel Runner

@@ -1,0 +1,1 @@
+lib/attack/realworld.ml: Char Guest Hw Isa Kernel List Runner Shellcode String

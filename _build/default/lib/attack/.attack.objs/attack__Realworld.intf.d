@@ -1,0 +1,1 @@
+lib/attack/realworld.mli: Defense Kernel Runner

@@ -1,0 +1,1 @@
+lib/attack/runner.ml: Char Defense Fmt Kernel List String

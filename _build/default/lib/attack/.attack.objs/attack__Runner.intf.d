@@ -1,0 +1,1 @@
+lib/attack/runner.mli: Defense Kernel

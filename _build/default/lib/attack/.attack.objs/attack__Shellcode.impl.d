@@ -1,0 +1,1 @@
+lib/attack/shellcode.ml: Char Isa List String

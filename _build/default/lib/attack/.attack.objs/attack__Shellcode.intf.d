@@ -1,0 +1,1 @@
+lib/attack/shellcode.mli: Isa

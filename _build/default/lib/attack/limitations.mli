@@ -1,0 +1,25 @@
+(** The paper's §7 limitations, reproduced as experiments. Split memory
+    prevents the {e execution of injected code}; these three cases fall
+    outside that guarantee by construction. *)
+
+val bank_victim : unit -> Kernel.Image.t
+
+val run_non_control_data : ?defense:Defense.t -> unit -> bool
+(** Overflow flips an adjacent privilege flag (non-control-data attack,
+    ref [25]); returns whether the secret leaked. True under {e every}
+    defense, including split memory. *)
+
+val launcher_victim : unit -> Kernel.Image.t
+
+val run_ret_into_code : ?defense:Defense.t -> unit -> Runner.outcome
+(** Return-into-existing-code: the hijacked return address targets a
+    privileged helper already on the code pages. Spawns a shell under
+    every defense here; the paper points to ASLR as the complement. *)
+
+val smc_victim : unit -> Kernel.Image.t
+
+val run_self_modifying : ?defense:Defense.t -> unit -> Runner.outcome
+(** A miniature JIT: emit code, jump to it. [Completed 55] where it works
+    (unprotected, NX); under split memory the generated code is
+    unreachable by fetch and the program breaks — the self-modifying-code
+    incompatibility of §7. *)

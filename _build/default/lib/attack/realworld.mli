@@ -1,0 +1,42 @@
+(** The five real-world vulnerabilities of the paper's Table 2, rebuilt as
+    guest servers with the same vulnerability classes, attacked by exploits
+    with the same structure (info leaks, unchecked length fields,
+    ASCII-translation expansion, brute-forced stack addresses, two-stage
+    payloads). *)
+
+type id = Apache_ssl | Bind | Proftpd | Samba | Wuftpd
+
+val all : id list
+
+type info = {
+  package : string;
+  version : string;
+  vuln : string;
+  exploit : string;  (** the historical exploit being modelled *)
+  injection : string;  (** where the shellcode lands *)
+  unprotected_result : string;
+}
+
+val info : id -> info
+val victim : id -> Kernel.Image.t
+
+val run : ?defense:Defense.t -> id -> Runner.outcome
+(** Run the attack end-to-end under a defense. *)
+
+val run_apache : ?defense:Defense.t -> unit -> Runner.outcome
+val run_bind : ?defense:Defense.t -> unit -> Runner.outcome
+val run_proftpd : ?defense:Defense.t -> unit -> Runner.outcome
+
+type samba_result = { outcome : Runner.outcome; attempts : int; detections : int }
+
+val run_samba :
+  ?defense:Defense.t -> ?max_attempts:int -> ?jitter_pages:int -> unit -> samba_result
+(** Brute-force loop against independently stack-randomized server
+    processes, seeded with a "good first guess" from a reference install
+    (paper §6.1.2). *)
+
+val run_wuftpd :
+  ?defense:Defense.t -> ?commands:string list -> unit -> Runner.outcome * Runner.session
+(** The 7350wurm-style two-stage attack; on success, [commands] are typed
+    into the spawned shell (fodder for Sebek logging). Returns the live
+    session for the Fig. 5 demos. *)

@@ -1,0 +1,377 @@
+open Isa.Asm
+
+(* A reconstruction of the Wilander & Kamkar buffer-overflow benchmark as
+   used in the paper's Table 1: every combination of control-flow hijack
+   technique and shellcode injection segment. The victim leaks the landing
+   address (standing in for the info-leak step real exploits performed),
+   receives shellcode into the chosen segment, then receives an attack
+   packet that triggers a genuine unbounded newline-terminated copy. *)
+
+type technique =
+  | Ret_addr
+  | Base_ptr
+  | Func_ptr_var
+  | Func_ptr_param
+  | Longjmp_var
+  | Longjmp_param
+  | Ptr_ret_addr
+  | Ptr_func_ptr
+  | Ptr_longjmp
+
+type location = Stack | Heap | Bss | Data
+
+let techniques =
+  [
+    Ret_addr;
+    Base_ptr;
+    Func_ptr_var;
+    Func_ptr_param;
+    Longjmp_var;
+    Longjmp_param;
+    Ptr_ret_addr;
+    Ptr_func_ptr;
+    Ptr_longjmp;
+  ]
+
+(* Wilander's two attack classes: direct overflow of the target, or
+   overflow of an intermediate data pointer through which a later write is
+   redirected onto the target. *)
+let is_indirect = function
+  | Ptr_ret_addr | Ptr_func_ptr | Ptr_longjmp -> true
+  | Ret_addr | Base_ptr | Func_ptr_var | Func_ptr_param | Longjmp_var | Longjmp_param ->
+    false
+
+let locations = [ Stack; Heap; Bss; Data ]
+
+let technique_name = function
+  | Ret_addr -> "return address (direct overflow)"
+  | Base_ptr -> "old base pointer (frame pivot)"
+  | Func_ptr_var -> "function pointer (variable)"
+  | Func_ptr_param -> "function pointer (parameter)"
+  | Longjmp_var -> "longjmp buffer (variable)"
+  | Longjmp_param -> "longjmp buffer (parameter)"
+  | Ptr_ret_addr -> "return address (pointer redirect)"
+  | Ptr_func_ptr -> "function pointer (pointer redirect)"
+  | Ptr_longjmp -> "longjmp buffer (pointer redirect)"
+
+let location_name = function
+  | Stack -> "stack"
+  | Heap -> "heap"
+  | Bss -> "bss"
+  | Data -> "data"
+
+let selector = function Stack -> "\000" | Heap -> "\001" | Bss -> "\002" | Data -> "\003"
+
+let bss_buf_off = 0x1C0
+let bss_jbuf_off = 0x200
+let heap_landing_off = 0x100
+let bss_landing_off = 0x100
+let heap_buf_off = 0x300
+let heap_jbuf_off = 0x340
+let stack_landing_disp = -768
+
+(* --- the victim image, one per technique ------------------------------- *)
+
+let victim technique =
+  let name = Fmt.str "wilander-%s" (technique_name technique) in
+  let indirect = is_indirect technique in
+  let data ~lbl =
+    [
+      L "sel";
+      Space 1;
+      Align 16;
+      L "landing_ptr";
+      Word32 0;
+      Align 16;
+      L "packet";
+      Space 512;
+      Align 16;
+      L "dlanding";
+      Space 128;
+      Align 16;
+      L "gbuf";
+      Space 64;
+      L "gfptr";
+      Word32 (lbl "benign");
+      L "valbuf";
+      Word32 0;
+      L "done_msg";
+      Bytes "DONE";
+    ]
+  in
+  let prologue lbl =
+    [
+      L "main";
+      I (Push EBP);
+      I (Mov_rr (EBP, ESP));
+      I (Add_ri (ESP, -1024));
+    ]
+    @ Guest.sys_read_imm ~buf:(lbl "sel") ~len:1
+    @ [
+        I (Mov_ri (ESI, lbl "sel"));
+        I (Loadb (EAX, ESI, 0));
+        I (Cmp_ri (EAX, 0));
+        I (Jz (Lbl "land_stack"));
+        I (Cmp_ri (EAX, 1));
+        I (Jz (Lbl "land_heap"));
+        I (Cmp_ri (EAX, 2));
+        I (Jz (Lbl "land_bss"));
+        I (Mov_ri (EDI, lbl "dlanding"));
+        I (Jmp (Lbl "land_done"));
+        L "land_stack";
+        I (Lea (EDI, EBP, stack_landing_disp));
+        I (Jmp (Lbl "land_done"));
+        L "land_heap";
+        I (Mov_ri (EDI, Kernel.Layout.heap_base + heap_landing_off));
+        I (Jmp (Lbl "land_done"));
+        L "land_bss";
+        I (Mov_ri (EDI, lbl "bss" + bss_landing_off));
+        L "land_done";
+        I (Mov_ri (ESI, lbl "landing_ptr"));
+        I (Store (ESI, 0, EDI));
+      ]
+    @ Guest.sys_write_imm ~buf:(lbl "landing_ptr") ~len:4 ()
+    @ [
+        (* read shellcode into the landing buffer *)
+        I (Mov_ri (EAX, 3));
+        I (Mov_ri (EBX, 0));
+        I (Mov_rr (ECX, EDI));
+        I (Mov_ri (EDX, 512));
+        I (Int 0x80);
+      ]
+    @ (if indirect then [] else Guest.sys_read_imm ~buf:(lbl "packet") ~len:512)
+  in
+  let finish lbl =
+    (L "finish" :: Guest.sys_write_imm ~buf:(lbl "done_msg") ~len:4 ()) @ Guest.sys_exit 0
+  in
+  let benign = [ L "benign"; I Ret ] in
+  let vuln_frame_copy ~tag ~extra_after_copy =
+    [
+      L tag;
+      I (Push EBP);
+      I (Mov_rr (EBP, ESP));
+      I (Add_ri (ESP, -64));
+      I (Load (ESI, EBP, 8));
+      I (Lea (EDI, EBP, -64));
+    ]
+    @ Guest.copy_until_newline ~tag
+    @ extra_after_copy
+    @ [ I (Mov_rr (ESP, EBP)); I (Pop EBP); I Ret ]
+  in
+  (* Wilander's pointer-redirection class: the overflow clobbers a data
+     pointer; the attacker's value is then written *through* it onto the
+     real target (return address / function pointer / jmp_buf). The victim
+     leaks the slot address it will be attacked through, standing in for
+     the target-discovery step of the published exploits. *)
+  let vuln2 lbl ~slot ~trigger =
+    [
+      L "vuln2";
+      I (Push EBP);
+      I (Mov_rr (EBP, ESP));
+      I (Add_ri (ESP, -72));
+    ]
+    @ slot
+    @ [ I (Mov_ri (ESI, lbl "landing_ptr")); I (Store (ESI, 0, EDI)) ]
+    @ Guest.sys_write_imm ~buf:(lbl "landing_ptr") ~len:4 ()
+    @ [
+        (* the innocent pointer the overflow will clobber *)
+        I (Mov_ri (EAX, lbl "dlanding"));
+        I (Store (EBP, -8, EAX));
+      ]
+    @ Guest.sys_read_imm ~buf:(lbl "packet") ~len:512
+    @ [ I (Mov_ri (ESI, lbl "packet")); I (Lea (EDI, EBP, -72)) ]
+    @ Guest.copy_until_newline ~tag:"pr"
+    @ Guest.sys_read_imm ~buf:(lbl "valbuf") ~len:4
+    @ [
+        (* the redirected write *)
+        I (Load (EDI, EBP, -8));
+        I (Mov_ri (ESI, lbl "valbuf"));
+        I (Load (EAX, ESI, 0));
+        I (Store (EDI, 0, EAX));
+      ]
+    @ trigger
+    @ [ I (Mov_rr (ESP, EBP)); I (Pop EBP); I Ret ]
+  in
+  let body lbl =
+    match technique with
+    | Ret_addr ->
+      [
+        I (Mov_ri (EAX, lbl "packet"));
+        I (Push EAX);
+        I (Call (Lbl "vuln"));
+        I (Add_ri (ESP, 4));
+        I (Jmp (Lbl "finish"));
+      ]
+      @ vuln_frame_copy ~tag:"vuln" ~extra_after_copy:[]
+    | Base_ptr ->
+      [
+        I (Call (Lbl "caller"));
+        I (Jmp (Lbl "finish"));
+        L "caller";
+        I (Push EBP);
+        I (Mov_rr (EBP, ESP));
+        I (Mov_ri (EAX, lbl "packet"));
+        I (Push EAX);
+        I (Call (Lbl "vuln"));
+        I (Add_ri (ESP, 4));
+        I (Mov_rr (ESP, EBP));
+        I (Pop EBP);
+        I Ret;
+      ]
+      @ vuln_frame_copy ~tag:"vuln" ~extra_after_copy:[]
+    | Func_ptr_var ->
+      [
+        I (Mov_ri (ESI, lbl "packet"));
+        I (Mov_ri (EDI, lbl "gbuf"));
+      ]
+      @ Guest.copy_until_newline ~tag:"fv"
+      @ [
+          I (Mov_ri (ESI, lbl "gfptr"));
+          I (Load (EAX, ESI, 0));
+          I (Call_r EAX);
+          I (Jmp (Lbl "finish"));
+        ]
+    | Func_ptr_param ->
+      [
+        I (Mov_ri (EAX, lbl "benign"));
+        I (Push EAX);
+        I (Mov_ri (EAX, lbl "packet"));
+        I (Push EAX);
+        I (Call (Lbl "vuln"));
+        I (Add_ri (ESP, 8));
+        I (Jmp (Lbl "finish"));
+      ]
+      @ vuln_frame_copy ~tag:"vuln"
+          ~extra_after_copy:[ I (Load (EAX, EBP, 12)); I (Call_r EAX) ]
+    | Longjmp_var ->
+      [
+        I (Mov_ri (EBX, lbl "bss" + bss_jbuf_off));
+        I (Call (Lbl "setjmp"));
+        I (Cmp_ri (EAX, 0));
+        I (Jnz (Lbl "finish"));
+        I (Mov_ri (ESI, lbl "packet"));
+        I (Mov_ri (EDI, lbl "bss" + bss_buf_off));
+      ]
+      @ Guest.copy_until_newline ~tag:"lv"
+      @ [
+          I (Mov_ri (EBX, lbl "bss" + bss_jbuf_off));
+          I (Mov_ri (ECX, 1));
+          I (Jmp (Lbl "longjmp"));
+        ]
+      @ Guest.setjmp_longjmp
+    | Longjmp_param ->
+      [
+        I (Mov_ri (EBX, Kernel.Layout.heap_base + heap_jbuf_off));
+        I (Call (Lbl "setjmp"));
+        I (Cmp_ri (EAX, 0));
+        I (Jnz (Lbl "finish"));
+        I (Mov_ri (EAX, Kernel.Layout.heap_base + heap_jbuf_off));
+        I (Push EAX);
+        I (Mov_ri (EAX, lbl "packet"));
+        I (Push EAX);
+        I (Call (Lbl "vuln"));
+        I (Add_ri (ESP, 8));
+        I (Jmp (Lbl "finish"));
+        L "vuln";
+        I (Push EBP);
+        I (Mov_rr (EBP, ESP));
+        I (Load (ESI, EBP, 8));
+        I (Mov_ri (EDI, Kernel.Layout.heap_base + heap_buf_off));
+      ]
+      @ Guest.copy_until_newline ~tag:"lp"
+      @ [
+          I (Load (EBX, EBP, 12));
+          I (Mov_ri (ECX, 1));
+          I (Jmp (Lbl "longjmp"));
+        ]
+      @ Guest.setjmp_longjmp
+    | Ptr_ret_addr ->
+      [ I (Call (Lbl "vuln2")); I (Jmp (Lbl "finish")) ]
+      @ vuln2 lbl ~slot:[ I (Lea (EDI, EBP, 4)) ] ~trigger:[]
+    | Ptr_func_ptr ->
+      [ I (Call (Lbl "vuln2")); I (Jmp (Lbl "finish")) ]
+      @ vuln2 lbl
+          ~slot:[ I (Mov_ri (EDI, lbl "gfptr")) ]
+          ~trigger:
+            [ I (Mov_ri (ESI, lbl "gfptr")); I (Load (EAX, ESI, 0)); I (Call_r EAX) ]
+    | Ptr_longjmp ->
+      [
+        I (Mov_ri (EBX, lbl "bss" + bss_jbuf_off));
+        I (Call (Lbl "setjmp"));
+        I (Cmp_ri (EAX, 0));
+        I (Jnz (Lbl "finish"));
+        I (Call (Lbl "vuln2"));
+        I (Mov_ri (EBX, lbl "bss" + bss_jbuf_off));
+        I (Mov_ri (ECX, 1));
+        I (Jmp (Lbl "longjmp"));
+      ]
+      @ vuln2 lbl ~slot:[ I (Mov_ri (EDI, lbl "bss" + bss_jbuf_off)) ] ~trigger:[]
+      @ Guest.setjmp_longjmp
+  in
+  Kernel.Image.build ~name ~bss_size:4096 ~data
+    ~code:(fun ~lbl -> prologue lbl @ body lbl @ finish lbl @ benign)
+    ~entry:"main" ()
+
+(* --- exploits ----------------------------------------------------------- *)
+
+let filler = Guest.filler
+
+let packet technique ~landing =
+  let w = Shellcode.word32 in
+  let p =
+    match technique with
+    | Ret_addr -> filler 64 ^ w landing ^ w landing
+    | Base_ptr -> filler 64 ^ w landing
+    | Func_ptr_var -> filler 64 ^ w landing
+    | Func_ptr_param -> filler 64 ^ w landing ^ w landing ^ w landing ^ w landing
+    | Longjmp_var | Longjmp_param -> filler 64 ^ w landing
+    | Ptr_ret_addr | Ptr_func_ptr | Ptr_longjmp ->
+      (* [landing] here is the pointer target slot, not the shellcode *)
+      filler 64 ^ w landing
+  in
+  assert (not (Shellcode.contains_newline p));
+  p ^ "\n"
+
+let shellcode technique ~landing =
+  match technique with
+  | Base_ptr -> Shellcode.fake_frame ~base:landing
+  | Ret_addr | Func_ptr_var | Func_ptr_param | Longjmp_var | Longjmp_param
+  | Ptr_ret_addr | Ptr_func_ptr | Ptr_longjmp ->
+    Shellcode.execve_bin_sh ~sled:16 ~base:landing ()
+
+let run ?defense technique location =
+  let s = Runner.start ?defense (victim technique) in
+  Runner.send s (selector location);
+  let landing = Runner.leak_addr (Runner.recv s) in
+  Runner.send s (shellcode technique ~landing);
+  if is_indirect technique then begin
+    (* the victim now leaks the slot the pointer will be redirected to *)
+    let slot = Runner.leak_addr (Runner.recv s) in
+    Runner.send s (packet technique ~landing:slot);
+    ignore (Runner.step s);
+    (* the value written through the clobbered pointer: the shellcode
+       address *)
+    Runner.send s (Shellcode.word32 landing);
+    ignore (Runner.step s)
+  end
+  else begin
+    ignore (Runner.step s);
+    Runner.send s (packet technique ~landing);
+    ignore (Runner.step s)
+  end;
+  Runner.outcome s
+
+(* A benign session: no overflow, the victim must complete normally. *)
+let benign_run ?defense technique =
+  let s = Runner.start ?defense (victim technique) in
+  Runner.send s (selector Data);
+  let _leak = Runner.recv s in
+  Runner.send s "not shellcode";
+  ignore (Runner.step s);
+  Runner.send s "short and harmless\n";
+  ignore (Runner.step s);
+  if is_indirect technique then begin
+    Runner.send s "VAL!";
+    ignore (Runner.step s)
+  end;
+  (Runner.outcome s, Kernel.Os.read_stdout s.k s.victim)

@@ -1,0 +1,1 @@
+lib/core/split_memory.ml: Char Fmt Hw Isa Kernel List Option Policy Response Splitter String

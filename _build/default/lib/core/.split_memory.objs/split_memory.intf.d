@@ -1,0 +1,1 @@
+lib/core/split_memory.mli: Kernel Policy Response Splitter

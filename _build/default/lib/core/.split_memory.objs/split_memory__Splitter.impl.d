@@ -1,0 +1,1 @@
+lib/core/splitter.ml: Hw Kernel

@@ -1,0 +1,26 @@
+type t =
+  | All_pages
+  | Mixed_only
+  | Fraction of int
+
+(* Deterministic per-vpn decision so runs are reproducible: Knuth
+   multiplicative hash of the vpn against the percentage threshold. *)
+let vpn_hash vpn = vpn * 2654435761 land 0x7FFFFFFF
+
+let is_mixed_kind = function
+  | Kernel.Pte.Mixed -> true
+  | Kernel.Pte.Mmap -> true (* write+exec mmap regions are mixed by nature *)
+  | Kernel.Pte.Code | Kernel.Pte.Rodata | Kernel.Pte.Data | Kernel.Pte.Bss
+  | Kernel.Pte.Heap | Kernel.Pte.Stack | Kernel.Pte.Lib ->
+    false
+
+let should_split t (region : Kernel.Aspace.region) ~vpn =
+  match t with
+  | All_pages -> true
+  | Mixed_only -> is_mixed_kind region.kind && region.writable && region.execable
+  | Fraction pct -> vpn_hash vpn mod 100 < pct
+
+let name = function
+  | All_pages -> "all-pages"
+  | Mixed_only -> "mixed-only"
+  | Fraction pct -> Fmt.str "%d%%-of-pages" pct

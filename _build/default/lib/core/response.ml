@@ -1,0 +1,11 @@
+type t =
+  | Break
+  | Observe of { sebek : bool }
+  | Forensics of { payload : string option }
+  | Recovery
+
+let name = function
+  | Break -> "break"
+  | Observe _ -> "observe"
+  | Forensics _ -> "forensics"
+  | Recovery -> "recovery"

@@ -1,0 +1,24 @@
+(** Attack response modes (paper §4.5).
+
+    All three fire at the same unique moment: the injected code is about to
+    execute its first instruction, but has not yet. *)
+
+type t =
+  | Break
+      (** route the fetch to the pristine code copy; the process crashes
+          and the kernel terminates it — the defacto standard response *)
+  | Observe of { sebek : bool }
+      (** log the attempt, lock the page to its data copy and let the
+          attack proceed (honeypot mode); [sebek] additionally enables
+          syscall tracing of the compromised process from that moment on *)
+  | Forensics of { payload : string option }
+      (** dump the first bytes of shellcode at EIP; if [payload] is given,
+          inject it as "forensic shellcode" onto the code copy and run it
+          (the paper's Argos-style substitution), otherwise terminate *)
+  | Recovery
+      (** the paper's proposed recovery mode (§4.5): transfer execution to
+          a callback the application registered via the sigrecover syscall
+          so it can check data integrity or terminate gracefully; falls
+          back to Break when no handler is registered *)
+
+val name : t -> string

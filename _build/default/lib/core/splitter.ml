@@ -1,0 +1,32 @@
+(* Page splitting (paper §4.2.2): duplicate the physical page, keep the
+   original as the code copy, route the PTE into supervisor mode so every
+   TLB miss traps, and mark the PTE as split. *)
+
+let split_page ?(restrict = true) (ctx : Kernel.Protection.ctx) (pte : Kernel.Pte.t) =
+  if not (Kernel.Pte.is_split pte) then begin
+    let data_frame = Kernel.Frame_alloc.alloc ctx.alloc in
+    Hw.Phys.copy_frame ctx.phys ~src:pte.frame ~dst:data_frame;
+    pte.split <- Some { code_frame = pte.frame; data_frame; locked_to_data = false };
+    (* On x86 the PTE goes supervisor so every TLB miss traps (Algorithm 1);
+       on software-managed-TLB machines every miss already traps, so the
+       PTE can stay user-accessible. *)
+    if restrict then Kernel.Pte.restrict pte;
+    (* Any unified entry cached before the split must go. *)
+    Hw.Mmu.invlpg ctx.mmu pte.vpn
+  end
+
+(* Observe mode (Algorithm 3): give up on splitting this page and lock the
+   sole mapping to the data copy, where the injected code lives, so the
+   attack proceeds under observation. The code copy stays allocated until
+   process teardown (both frames are freed by the exit path). *)
+let lock_to_data (ctx : Kernel.Protection.ctx) (pte : Kernel.Pte.t) =
+  match pte.split with
+  | None -> ()
+  | Some s ->
+    s.locked_to_data <- true;
+    pte.frame <- s.data_frame;
+    Kernel.Pte.unrestrict pte;
+    Hw.Mmu.invlpg ctx.mmu pte.vpn
+
+let is_active_split (pte : Kernel.Pte.t) =
+  match pte.split with Some s -> not s.locked_to_data | None -> false

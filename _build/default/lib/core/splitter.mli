@@ -1,0 +1,14 @@
+(** Page-splitting primitives (paper §4.2.2). *)
+
+val split_page : ?restrict:bool -> Kernel.Protection.ctx -> Kernel.Pte.t -> unit
+(** Duplicate the page into a code copy (the original frame) and a data
+    copy, restrict the PTE to supervisor mode ([restrict], default true —
+    software-managed-TLB machines pass false) and invalidate stale TLB
+    entries. Idempotent. *)
+
+val lock_to_data : Kernel.Protection.ctx -> Kernel.Pte.t -> unit
+(** Disable splitting for the page and lock the mapping to the data copy
+    (observe mode's continuation path). *)
+
+val is_active_split : Kernel.Pte.t -> bool
+(** Split and not locked — i.e. the desync machinery is live. *)

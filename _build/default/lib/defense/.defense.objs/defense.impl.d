@@ -1,0 +1,1 @@
+lib/defense/defense.ml: Hw Kernel Nx_bit Split_memory

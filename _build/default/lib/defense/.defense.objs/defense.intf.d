@@ -1,0 +1,1 @@
+lib/defense/defense.mli: Hw Kernel Nx_bit Split_memory

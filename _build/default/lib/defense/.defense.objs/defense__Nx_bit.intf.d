@@ -1,0 +1,1 @@
+lib/defense/nx_bit.mli: Kernel

@@ -1,0 +1,53 @@
+module Nx_bit = Nx_bit
+
+type t =
+  | Unprotected
+  | Unprotected_soft_tlb
+  | Nx
+  | Split of {
+      policy : Split_memory.Policy.t;
+      response : Split_memory.Response.t;
+      nx : bool;
+      mechanism : Split_memory.mechanism;
+    }
+
+let unprotected = Unprotected
+let unprotected_soft_tlb = Unprotected_soft_tlb
+let nx = Nx
+
+let split_standalone =
+  Split { policy = All_pages; response = Break; nx = false; mechanism = Tlb_desync }
+
+let split_mixed_plus_nx =
+  Split { policy = Mixed_only; response = Break; nx = true; mechanism = Tlb_desync }
+
+let split_fraction pct =
+  Split { policy = Fraction pct; response = Break; nx = true; mechanism = Tlb_desync }
+
+let split_soft_tlb =
+  Split { policy = All_pages; response = Break; nx = false; mechanism = Soft_tlb }
+
+let split_dual_cr3 =
+  Split { policy = All_pages; response = Break; nx = false; mechanism = Dual_cr3 }
+
+let split_with ?(policy = Split_memory.Policy.All_pages) ?(response = Split_memory.Response.Break)
+    ?(nx = false) ?(mechanism = Split_memory.Tlb_desync) () =
+  Split { policy; response; nx; mechanism }
+
+let to_protection = function
+  | Unprotected | Unprotected_soft_tlb -> Kernel.Protection.none
+  | Nx -> Nx_bit.protection ()
+  | Split { policy; response; nx; mechanism } ->
+    Split_memory.protection ~policy ~response ~nx ~mechanism ()
+
+(* The hardware the defense assumes: §4.7's port runs on a machine whose
+   TLB misses trap to the OS instead of a hardware walker. *)
+let tlb_fill = function
+  | Split { mechanism = Split_memory.Soft_tlb; _ } | Unprotected_soft_tlb ->
+    Hw.Mmu.Software_fill
+  | Unprotected | Nx | Split _ -> Hw.Mmu.Hardware_walk
+
+let name t =
+  match t with
+  | Unprotected_soft_tlb -> "unprotected(soft-tlb)"
+  | Unprotected | Nx | Split _ -> (to_protection t).Kernel.Protection.name

@@ -1,0 +1,50 @@
+(** The protection configurations compared throughout the evaluation. *)
+
+module Nx_bit = Nx_bit
+
+type t =
+  | Unprotected
+  | Unprotected_soft_tlb
+      (** stock kernel on a software-managed-TLB machine (ablation baseline) *)
+  | Nx  (** execute-disable bit alone *)
+  | Split of {
+      policy : Split_memory.Policy.t;
+      response : Split_memory.Response.t;
+      nx : bool;
+      mechanism : Split_memory.mechanism;
+    }
+
+val unprotected : t
+val unprotected_soft_tlb : t
+val nx : t
+
+val split_standalone : t
+(** Split every page, break on detection — the paper's stand-alone mode,
+    used for the performance figures. *)
+
+val split_mixed_plus_nx : t
+(** NX for normal pages, splitting only for mixed pages (§4.2.1). *)
+
+val split_fraction : int -> t
+(** Split the given percentage of pages, NX for the rest (Fig. 9). *)
+
+val split_soft_tlb : t
+(** The §4.7 port: split memory on a software-managed-TLB machine. *)
+
+val split_dual_cr3 : t
+(** The §3.3.1 hardware modification: dual pagetable registers. *)
+
+val split_with :
+  ?policy:Split_memory.Policy.t ->
+  ?response:Split_memory.Response.t ->
+  ?nx:bool ->
+  ?mechanism:Split_memory.mechanism ->
+  unit ->
+  t
+
+val to_protection : t -> Kernel.Protection.t
+
+val tlb_fill : t -> Hw.Mmu.fill_mode
+(** The TLB-fill hardware this defense assumes. *)
+
+val name : t -> string

@@ -1,0 +1,8 @@
+(** Execute-disable-bit baseline (DEP / PaX-style page-level protection).
+
+    Marks non-executable every page of a region without execute intent;
+    mixed code+data pages necessarily remain executable — the limitation
+    (paper §2, Fig. 1b) split memory removes. A fetch blocked by the NX bit
+    is logged as a detection and the process receives SIGSEGV. *)
+
+val protection : unit -> Kernel.Protection.t

@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Cache Cost Fmt Isa Phys Tlb

@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Cache Cost Format Phys Tlb

@@ -1,0 +1,1 @@
+lib/hw/phys.ml: Array Bytes Char Fmt String

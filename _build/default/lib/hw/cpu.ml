@@ -1,0 +1,189 @@
+let mask32 = Isa.Encode.mask32
+let sign32 = Isa.Decode.sign32
+
+type regs = {
+  gpr : int array;
+  mutable eip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable tf : bool;
+}
+
+let create_regs () = { gpr = Array.make 8 0; eip = 0; zf = false; sf = false; tf = false }
+
+let copy_regs r = { r with gpr = Array.copy r.gpr }
+
+let get r reg = r.gpr.(Isa.Reg.to_int reg)
+let set r reg v = r.gpr.(Isa.Reg.to_int reg) <- mask32 v
+
+type event = Retired | Syscall of int
+
+type fault =
+  | Page of Mmu.fault
+  | Invalid_opcode of { eip : int; opcode : int }
+  | General_protection of string
+
+let pp_fault ppf = function
+  | Page f -> Mmu.pp_fault ppf f
+  | Invalid_opcode { eip; opcode } -> Fmt.pf ppf "#UD eip=0x%08x opcode=0x%02x" eip opcode
+  | General_protection s -> Fmt.pf ppf "#GP %s" s
+
+type step = { outcome : (event, fault) result; debug_trap : bool }
+
+let set_flags r v =
+  let v = mask32 v in
+  r.zf <- v = 0;
+  r.sf <- v land 0x80000000 <> 0
+
+let set_flags_signed r diff =
+  r.zf <- diff = 0;
+  r.sf <- diff < 0
+
+(* One instruction. Register state is only committed once every memory
+   access of the instruction has succeeded, so a faulting instruction can be
+   transparently restarted after the kernel services the fault — the
+   restart-after-page-fault semantics Algorithms 1 and 2 depend on. *)
+let step mmu (r : regs) =
+  let tf_at_start = r.tf in
+  let exec () =
+    let eip = r.eip in
+    let fetch a = Mmu.fetch8 mmu ~from_user:true a in
+    match Isa.Decode.decode ~fetch eip with
+    | Error (Isa.Decode.Bad_opcode op) -> Error (Invalid_opcode { eip; opcode = op })
+    | Error (Isa.Decode.Bad_register v) ->
+      Error (General_protection (Fmt.str "bad register field %d at eip=0x%08x" v eip))
+    | Ok insn -> (
+      let next = eip + Isa.Insn.size insn in
+      let rd32 a = Mmu.read32 mmu ~from_user:true a in
+      let wr32 a v = Mmu.write32 mmu ~from_user:true a v in
+      let rd8 a = Mmu.read8 mmu ~from_user:true a in
+      let wr8 a v = Mmu.write8 mmu ~from_user:true a v in
+      let push v =
+        let sp = mask32 (get r ESP - 4) in
+        wr32 sp v;
+        set r ESP sp
+      in
+      let binop d s f =
+        let v = f (get r d) (get r s) in
+        set r d v;
+        set_flags r v;
+        r.eip <- next;
+        Ok Retired
+      in
+      let jump_if cond target =
+        (match target with
+        | Isa.Insn.Rel disp -> r.eip <- (if cond then mask32 (next + disp) else next)
+        | Isa.Insn.Lbl _ -> assert false);
+        Ok Retired
+      in
+      match insn with
+      | Nop ->
+        r.eip <- next;
+        Ok Retired
+      | Hlt -> Error (General_protection "hlt in user mode")
+      | Mov_ri (d, i) ->
+        set r d i;
+        r.eip <- next;
+        Ok Retired
+      | Mov_rr (d, s) ->
+        set r d (get r s);
+        r.eip <- next;
+        Ok Retired
+      | Load (d, b, off) ->
+        let v = rd32 (get r b + off) in
+        set r d v;
+        r.eip <- next;
+        Ok Retired
+      | Store (b, off, s) ->
+        wr32 (get r b + off) (get r s);
+        r.eip <- next;
+        Ok Retired
+      | Loadb (d, b, off) ->
+        let v = rd8 (get r b + off) in
+        set r d v;
+        r.eip <- next;
+        Ok Retired
+      | Storeb (b, off, s) ->
+        wr8 (get r b + off) (get r s land 0xFF);
+        r.eip <- next;
+        Ok Retired
+      | Push s ->
+        push (get r s);
+        r.eip <- next;
+        Ok Retired
+      | Pop d ->
+        let sp = get r ESP in
+        let v = rd32 sp in
+        set r ESP (sp + 4);
+        set r d v;
+        r.eip <- next;
+        Ok Retired
+      | Lea (d, b, off) ->
+        set r d (get r b + off);
+        r.eip <- next;
+        Ok Retired
+      | Add (d, s) -> binop d s ( + )
+      | Sub (d, s) -> binop d s ( - )
+      | Add_ri (d, i) ->
+        let v = get r d + i in
+        set r d v;
+        set_flags r v;
+        r.eip <- next;
+        Ok Retired
+      | Cmp (a, b) ->
+        set_flags_signed r (sign32 (get r a) - sign32 (get r b));
+        r.eip <- next;
+        Ok Retired
+      | Cmp_ri (a, i) ->
+        set_flags_signed r (sign32 (get r a) - i);
+        r.eip <- next;
+        Ok Retired
+      | And_ (d, s) -> binop d s ( land )
+      | Or_ (d, s) -> binop d s ( lor )
+      | Xor (d, s) -> binop d s ( lxor )
+      | Mul (d, s) -> binop d s ( * )
+      | Shl (d, i) ->
+        let v = get r d lsl (i land 31) in
+        set r d v;
+        set_flags r v;
+        r.eip <- next;
+        Ok Retired
+      | Shr (d, i) ->
+        let v = get r d lsr (i land 31) in
+        set r d v;
+        set_flags r v;
+        r.eip <- next;
+        Ok Retired
+      | Jmp t -> jump_if true t
+      | Jz t -> jump_if r.zf t
+      | Jnz t -> jump_if (not r.zf) t
+      | Jl t -> jump_if r.sf t
+      | Jge t -> jump_if (not r.sf) t
+      | Jmp_r s ->
+        r.eip <- get r s;
+        Ok Retired
+      | Call t ->
+        let disp = match t with Isa.Insn.Rel d -> d | Isa.Insn.Lbl _ -> assert false in
+        push next;
+        r.eip <- mask32 (next + disp);
+        Ok Retired
+      | Call_r s ->
+        let target = get r s in
+        push next;
+        r.eip <- target;
+        Ok Retired
+      | Ret ->
+        let sp = get r ESP in
+        let v = rd32 sp in
+        set r ESP (sp + 4);
+        r.eip <- v;
+        Ok Retired
+      | Int 0x80 ->
+        r.eip <- next;
+        Ok (Syscall (get r EAX))
+      | Int n -> Error (General_protection (Fmt.str "int 0x%x unsupported" n)))
+  in
+  match exec () with
+  | exception Mmu.Page_fault f -> { outcome = Error (Page f); debug_trap = false }
+  | Error _ as e -> { outcome = e; debug_trap = false }
+  | Ok _ as ok -> { outcome = ok; debug_trap = tf_at_start }

@@ -1,0 +1,47 @@
+(** User-mode CPU interpreter.
+
+    The kernel is not guest code: it runs as host (OCaml) functions invoked
+    when [step] reports a fault or a syscall, mirroring the paper's setup
+    where the protection mechanism lives entirely in the OS's page-fault and
+    debug-interrupt handlers. *)
+
+type regs = {
+  gpr : int array;  (** eight GPRs, indexed per {!Isa.Reg.to_int} *)
+  mutable eip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable tf : bool;  (** trap flag: single-step mode (EFLAGS.TF) *)
+}
+
+val create_regs : unit -> regs
+val copy_regs : regs -> regs
+val get : regs -> Isa.Reg.t -> int
+val set : regs -> Isa.Reg.t -> int -> unit
+
+type event =
+  | Retired  (** instruction completed normally *)
+  | Syscall of int  (** [int 0x80] retired; argument is EAX *)
+
+type fault =
+  | Page of Mmu.fault
+  | Invalid_opcode of { eip : int; opcode : int }
+  | General_protection of string
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type step = {
+  outcome : (event, fault) result;
+  debug_trap : bool;
+      (** true when the trap flag was set when the instruction started and
+          the instruction retired: a debug interrupt (#DB) must be delivered
+          — the hook Algorithm 2 uses to re-restrict the PTE after an
+          ITLB load. A faulting instruction raises no debug trap. *)
+}
+
+val step : Mmu.t -> regs -> step
+(** Execute one instruction at [regs.eip]. Register state is committed only
+    if every memory access succeeds, so faulting instructions can be
+    restarted. *)
+
+val mask32 : int -> int
+val sign32 : int -> int

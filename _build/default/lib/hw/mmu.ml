@@ -1,0 +1,215 @@
+type access = Fetch | Read | Write
+
+let pp_access ppf = function
+  | Fetch -> Fmt.string ppf "fetch"
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+type hw_pte = { frame : int; present : bool; writable : bool; user : bool; nx : bool }
+
+type fill_mode = Hardware_walk | Software_fill
+
+type fault_kind = Not_present | Protection | Tlb_miss
+
+type fault = { addr : int; access : access; kind : fault_kind; from_user : bool }
+
+exception Page_fault of fault
+
+let pp_fault ppf f =
+  Fmt.pf ppf "#PF addr=0x%08x %a %s %s" f.addr pp_access f.access
+    (match f.kind with
+    | Not_present -> "not-present"
+    | Protection -> "protection"
+    | Tlb_miss -> "tlb-miss")
+    (if f.from_user then "user" else "supervisor")
+
+type t = {
+  phys : Phys.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  cost : Cost.t;
+  mutable nx_enabled : bool;
+  mutable fill_mode : fill_mode;
+  mutable walk : int -> hw_pte option;
+  mutable walk_code : (int -> hw_pte option) option;
+      (* §3.3.1 hardware variant: a second pagetable register (CR3-C) used
+         for instruction fetches *)
+  mutable icache : Cache.t option;
+  mutable dcache : Cache.t option;
+}
+
+let no_pagetable _ = None
+
+let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ~phys ~cost () =
+  {
+    phys;
+    itlb = Tlb.create ~name:"itlb" ~capacity:itlb_capacity;
+    dtlb = Tlb.create ~name:"dtlb" ~capacity:dtlb_capacity;
+    cost;
+    nx_enabled = false;
+    fill_mode = Hardware_walk;
+    walk = no_pagetable;
+    walk_code = None;
+    icache = None;
+    dcache = None;
+  }
+
+let phys t = t.phys
+let itlb t = t.itlb
+let dtlb t = t.dtlb
+let set_nx t v = t.nx_enabled <- v
+let nx_enabled t = t.nx_enabled
+let set_fill_mode t m = t.fill_mode <- m
+let fill_mode t = t.fill_mode
+
+let enable_caches ?(lines = 512) t =
+  t.icache <- Some (Cache.create ~name:"icache" ~lines ());
+  t.dcache <- Some (Cache.create ~name:"dcache" ~lines ())
+
+let icache t = t.icache
+let dcache t = t.dcache
+
+let touch_icache t paddr =
+  match t.icache with
+  | None -> ()
+  | Some c -> if not (Cache.access c paddr) then Cost.charge t.cost t.cost.params.icache_miss
+
+let touch_dcache_read t paddr =
+  match t.dcache with
+  | None -> ()
+  | Some c -> if not (Cache.access c paddr) then Cost.charge t.cost t.cost.params.dcache_miss
+
+(* A store: dcache traffic plus x86 self-modifying-code coherency — if the
+   written line is in the icache it must be invalidated and the pipeline
+   flushed. *)
+let touch_dcache_write t paddr =
+  (match t.dcache with
+  | None -> ()
+  | Some c -> if not (Cache.access c paddr) then Cost.charge t.cost t.cost.params.dcache_miss);
+  match t.icache with
+  | None -> ()
+  | Some c -> if Cache.invalidate c paddr then Cost.charge t.cost t.cost.params.smc_penalty
+
+(* Software TLB fill: what a SPARC-style TLB-load instruction does from
+   inside the OS's miss handler. *)
+let load_tlb t access (e : Tlb.entry) =
+  Cost.charge t.cost t.cost.params.soft_tlb_fill;
+  let tlb = match access with Fetch -> t.itlb | Read | Write -> t.dtlb in
+  Tlb.insert tlb e
+
+let flush_tlbs t =
+  Tlb.flush t.itlb;
+  Tlb.flush t.dtlb
+
+let reload_cr3 t walk =
+  t.walk <- walk;
+  t.walk_code <- None;
+  flush_tlbs t
+
+(* The paper's §3.3.1 hardware modification: load both pagetable registers,
+   CR3-C for instruction fetches and CR3-D for data accesses. *)
+let reload_cr3_dual t ~code ~data =
+  t.walk <- data;
+  t.walk_code <- Some code;
+  flush_tlbs t
+
+let invlpg t vpn =
+  Tlb.invalidate t.itlb vpn;
+  Tlb.invalidate t.dtlb vpn
+
+let mask32 = Isa.Encode.mask32
+
+let check_perms ~addr ~access ~from_user ~user ~writable ~nx t =
+  let fault kind = raise (Page_fault { addr; access; kind; from_user }) in
+  if from_user && not user then fault Protection;
+  if access = Write && not writable then fault Protection;
+  if access = Fetch && t.nx_enabled && nx then fault Protection
+
+let translate t ~from_user access vaddr =
+  let vaddr = mask32 vaddr in
+  let page_size = Phys.page_size t.phys in
+  let vpn = vaddr / page_size in
+  let off = vaddr mod page_size in
+  let tlb = match access with Fetch -> t.itlb | Read | Write -> t.dtlb in
+  match Tlb.lookup tlb vpn with
+  | Some e ->
+    check_perms ~addr:vaddr ~access ~from_user ~user:e.user ~writable:e.writable ~nx:e.nx t;
+    (e.frame, off)
+  | None when t.fill_mode = Software_fill ->
+    (* the hardware has no walker: trap to the OS miss handler *)
+    raise (Page_fault { addr = vaddr; access; kind = Tlb_miss; from_user })
+  | None -> (
+    Cost.charge_walk t.cost;
+    let walk =
+      match (access, t.walk_code) with
+      | Fetch, Some wc -> wc
+      | (Fetch | Read | Write), _ -> t.walk
+    in
+    match walk vpn with
+    | None -> raise (Page_fault { addr = vaddr; access; kind = Not_present; from_user })
+    | Some p ->
+      if not p.present then
+        raise (Page_fault { addr = vaddr; access; kind = Not_present; from_user });
+      check_perms ~addr:vaddr ~access ~from_user ~user:p.user ~writable:p.writable ~nx:p.nx t;
+      Tlb.insert tlb { vpn; frame = p.frame; user = p.user; writable = p.writable; nx = p.nx };
+      (p.frame, off))
+
+let fetch8 t ~from_user vaddr =
+  let frame, off = translate t ~from_user Fetch vaddr in
+  touch_icache t (Phys.addr t.phys ~frame ~off);
+  Phys.read8 t.phys ~frame ~off
+
+let read8 t ~from_user vaddr =
+  let frame, off = translate t ~from_user Read vaddr in
+  touch_dcache_read t (Phys.addr t.phys ~frame ~off);
+  Phys.read8 t.phys ~frame ~off
+
+let write8 t ~from_user vaddr v =
+  let frame, off = translate t ~from_user Write vaddr in
+  touch_dcache_write t (Phys.addr t.phys ~frame ~off);
+  Phys.write8 t.phys ~frame ~off v
+
+let read32 t ~from_user vaddr =
+  let page_size = Phys.page_size t.phys in
+  if mask32 vaddr mod page_size <= page_size - 4 then begin
+    let frame, off = translate t ~from_user Read vaddr in
+    touch_dcache_read t (Phys.addr t.phys ~frame ~off);
+    Phys.read32 t.phys ~frame ~off
+  end
+  else
+    let b i = read8 t ~from_user (vaddr + i) in
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let write32 t ~from_user vaddr v =
+  let page_size = Phys.page_size t.phys in
+  if mask32 vaddr mod page_size <= page_size - 4 then begin
+    let frame, off = translate t ~from_user Write vaddr in
+    touch_dcache_write t (Phys.addr t.phys ~frame ~off);
+    Phys.write32 t.phys ~frame ~off v
+  end
+  else
+    for i = 0 to 3 do
+      write8 t ~from_user (vaddr + i) ((v lsr (8 * i)) land 0xFF)
+    done
+
+(* The pagetable-walk DTLB-load trick of Algorithm 1: with the PTE
+   temporarily unrestricted, the kernel "reads a byte off the page", which
+   makes the hardware walk the pagetable and fill the data-TLB. *)
+let touch_read t vaddr = ignore (read8 t ~from_user:true vaddr)
+
+(* Kernel store into a physical frame holding code — what the ret-gadget
+   ITLB loader does when it plants its gadget byte. x86 self-modifying-code
+   machinery snoops stores against pages being executed conservatively, so
+   the pipeline-flush penalty applies whether or not the exact line is
+   resident; a resident line is invalidated as well. *)
+let kernel_code_write t ~frame ~off v =
+  let paddr = Phys.addr t.phys ~frame ~off in
+  (match t.dcache with
+  | None -> ()
+  | Some c -> if not (Cache.access c paddr) then Cost.charge t.cost t.cost.params.dcache_miss);
+  (match t.icache with
+  | None -> ()
+  | Some c ->
+    ignore (Cache.invalidate c paddr);
+    Cost.charge t.cost t.cost.params.smc_penalty);
+  Phys.write8 t.phys ~frame ~off v

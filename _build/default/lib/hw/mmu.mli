@@ -1,0 +1,98 @@
+(** Memory-management unit: virtual-address translation through the split
+    instruction/data TLBs, with a hardware pagetable walk on miss.
+
+    Permission checks are performed against the {e cached} TLB entry on a
+    hit and against the PTE on a miss, exactly as on x86. A permission
+    violation on a miss does not fill the TLB. This is the property the
+    split-memory technique exploits: a PTE can be restricted (supervisor)
+    while a previously loaded user-accessible TLB entry keeps servicing
+    accesses of one kind, routing fetches and data accesses to different
+    physical frames. *)
+
+type access = Fetch | Read | Write
+
+val pp_access : Format.formatter -> access -> unit
+
+type hw_pte = {
+  frame : int;
+  present : bool;
+  writable : bool;
+  user : bool;  (** accessible from user mode; false = supervisor-only *)
+  nx : bool;  (** execute-disable (only enforced when NX is enabled) *)
+}
+(** The hardware's view of a pagetable entry — what a page walk returns. *)
+
+type fill_mode =
+  | Hardware_walk  (** x86: misses are resolved by the hardware page walker *)
+  | Software_fill
+      (** SPARC-style: misses trap to the OS, which loads the TLB directly
+          (paper §4.7) *)
+
+type fault_kind =
+  | Not_present
+  | Protection
+  | Tlb_miss  (** software-fill mode only: the OS must load the TLB *)
+
+type fault = { addr : int; access : access; kind : fault_kind; from_user : bool }
+
+exception Page_fault of fault
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type t
+
+val create : ?itlb_capacity:int -> ?dtlb_capacity:int -> phys:Phys.t -> cost:Cost.t -> unit -> t
+
+val phys : t -> Phys.t
+val itlb : t -> Tlb.t
+val dtlb : t -> Tlb.t
+
+val set_nx : t -> bool -> unit
+(** Enable/disable execute-disable-bit enforcement (legacy x86 = off). *)
+
+val nx_enabled : t -> bool
+val set_fill_mode : t -> fill_mode -> unit
+val fill_mode : t -> fill_mode
+
+val load_tlb : t -> access -> Tlb.entry -> unit
+(** Software TLB load from the OS miss handler (Software_fill mode): insert
+    into the I- or D-TLB according to the faulting access. *)
+
+val enable_caches : ?lines:int -> t -> unit
+(** Attach the I/D cache timing model (off by default; used by the
+    self-modifying-code coherency ablation). *)
+
+val icache : t -> Cache.t option
+val dcache : t -> Cache.t option
+
+val kernel_code_write : t -> frame:int -> off:int -> int -> unit
+(** Kernel byte store into a physical frame with coherency effects (icache
+    invalidation + pipeline-flush penalty if the line was cached). *)
+
+val reload_cr3 : t -> (int -> hw_pte option) -> unit
+(** Load a new pagetable (the walk function) and flush both TLBs — what a
+    context switch does. Clears any dual-pagetable configuration. *)
+
+val reload_cr3_dual : t -> code:(int -> hw_pte option) -> data:(int -> hw_pte option) -> unit
+(** The §3.3.1 hardware modification: two pagetable registers, CR3-C
+    walked on instruction fetches and CR3-D on data accesses. *)
+
+val flush_tlbs : t -> unit
+val invlpg : t -> int -> unit
+(** Invalidate one vpn in both TLBs. *)
+
+val translate : t -> from_user:bool -> access -> int -> int * int
+(** [translate t ~from_user access vaddr] returns [(frame, offset)].
+    @raise Page_fault on a missing or protection-violating translation. *)
+
+val fetch8 : t -> from_user:bool -> int -> int
+(** Instruction-side byte read (goes through the ITLB). *)
+
+val read8 : t -> from_user:bool -> int -> int
+val write8 : t -> from_user:bool -> int -> int -> unit
+val read32 : t -> from_user:bool -> int -> int
+val write32 : t -> from_user:bool -> int -> int -> unit
+
+val touch_read : t -> int -> unit
+(** Algorithm 1's DTLB load: user-mode read of one byte so the hardware
+    walks the (temporarily unrestricted) PTE into the data-TLB. *)

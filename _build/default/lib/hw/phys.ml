@@ -1,0 +1,56 @@
+type t = { page_size : int; frames : Bytes.t array }
+
+let create ?(page_size = 4096) ~frames () =
+  if frames <= 0 then invalid_arg "Phys.create: frames must be positive";
+  { page_size; frames = Array.init frames (fun _ -> Bytes.make page_size '\000') }
+
+let page_size t = t.page_size
+let frame_count t = Array.length t.frames
+
+let check t frame off len =
+  if frame < 0 || frame >= Array.length t.frames then
+    invalid_arg (Fmt.str "Phys: frame %d out of range" frame);
+  if off < 0 || off + len > t.page_size then
+    invalid_arg (Fmt.str "Phys: offset %d+%d out of page" off len)
+
+let read8 t ~frame ~off =
+  check t frame off 1;
+  Char.code (Bytes.get t.frames.(frame) off)
+
+let write8 t ~frame ~off v =
+  check t frame off 1;
+  Bytes.set t.frames.(frame) off (Char.chr (v land 0xFF))
+
+let read32 t ~frame ~off =
+  check t frame off 4;
+  let b i = Char.code (Bytes.get t.frames.(frame) (off + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let write32 t ~frame ~off v =
+  check t frame off 4;
+  let set i x = Bytes.set t.frames.(frame) (off + i) (Char.chr (x land 0xFF)) in
+  set 0 v;
+  set 1 (v lsr 8);
+  set 2 (v lsr 16);
+  set 3 (v lsr 24)
+
+let fill t ~frame byte =
+  check t frame 0 t.page_size;
+  Bytes.fill t.frames.(frame) 0 t.page_size (Char.chr (byte land 0xFF))
+
+let blit_from_string t ~frame ~off s =
+  check t frame off (String.length s);
+  Bytes.blit_string s 0 t.frames.(frame) off (String.length s)
+
+let to_string t ~frame =
+  check t frame 0 t.page_size;
+  Bytes.to_string t.frames.(frame)
+
+let copy_frame t ~src ~dst =
+  check t src 0 t.page_size;
+  check t dst 0 t.page_size;
+  Bytes.blit t.frames.(src) 0 t.frames.(dst) 0 t.page_size
+
+let addr t ~frame ~off = (frame * t.page_size) + off
+let frame_of_addr t a = a / t.page_size
+let off_of_addr t a = a mod t.page_size

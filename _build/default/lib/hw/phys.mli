@@ -1,0 +1,32 @@
+(** Simulated physical memory: an array of fixed-size page frames.
+
+    Frames are identified by index; frame ownership and allocation policy
+    belong to the kernel's frame allocator, not to this module. *)
+
+type t
+
+val create : ?page_size:int -> frames:int -> unit -> t
+(** Fresh physical memory of [frames] zeroed frames (default 4 KiB pages). *)
+
+val page_size : t -> int
+val frame_count : t -> int
+
+val read8 : t -> frame:int -> off:int -> int
+val write8 : t -> frame:int -> off:int -> int -> unit
+val read32 : t -> frame:int -> off:int -> int
+(** Little-endian 32-bit read; [off] must leave 4 bytes in the page. *)
+
+val write32 : t -> frame:int -> off:int -> int -> unit
+val fill : t -> frame:int -> int -> unit
+(** Fill an entire frame with one byte value. *)
+
+val blit_from_string : t -> frame:int -> off:int -> string -> unit
+val to_string : t -> frame:int -> string
+(** Snapshot of a frame's contents. *)
+
+val copy_frame : t -> src:int -> dst:int -> unit
+(** Duplicate a frame — used when splitting a page into code/data copies. *)
+
+val addr : t -> frame:int -> off:int -> int
+val frame_of_addr : t -> int -> int
+val off_of_addr : t -> int -> int

@@ -1,0 +1,76 @@
+type entry = { vpn : int; frame : int; user : bool; writable : bool; nx : bool }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+type t = {
+  name : string;
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  fifo : int Queue.t;
+  stats : stats;
+}
+
+let create ~name ~capacity =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
+  {
+    name;
+    capacity;
+    table = Hashtbl.create capacity;
+    fifo = Queue.create ();
+    stats = { hits = 0; misses = 0; flushes = 0; invalidations = 0; evictions = 0 };
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+let stats t = t.stats
+
+let lookup t vpn =
+  match Hashtbl.find_opt t.table vpn with
+  | Some e ->
+    t.stats.hits <- t.stats.hits + 1;
+    Some e
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    None
+
+let peek t vpn = Hashtbl.find_opt t.table vpn
+
+(* FIFO replacement: the queue may contain vpns already invalidated; they are
+   skipped when looking for a victim. *)
+let rec evict_one t =
+  match Queue.take_opt t.fifo with
+  | None -> ()
+  | Some victim ->
+    if Hashtbl.mem t.table victim then begin
+      Hashtbl.remove t.table victim;
+      t.stats.evictions <- t.stats.evictions + 1
+    end
+    else evict_one t
+
+let insert t (e : entry) =
+  let fresh = not (Hashtbl.mem t.table e.vpn) in
+  if fresh && Hashtbl.length t.table >= t.capacity then evict_one t;
+  Hashtbl.replace t.table e.vpn e;
+  if fresh then Queue.add e.vpn t.fifo
+
+let invalidate t vpn =
+  if Hashtbl.mem t.table vpn then begin
+    Hashtbl.remove t.table vpn;
+    t.stats.invalidations <- t.stats.invalidations + 1
+  end
+
+let flush t =
+  Hashtbl.reset t.table;
+  Queue.clear t.fifo;
+  t.stats.flushes <- t.stats.flushes + 1
+
+let pp_stats ppf t =
+  Fmt.pf ppf "%s: hits=%d misses=%d flushes=%d invl=%d evict=%d" t.name t.stats.hits
+    t.stats.misses t.stats.flushes t.stats.invalidations t.stats.evictions

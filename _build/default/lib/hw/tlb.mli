@@ -1,0 +1,43 @@
+(** Translation lookaside buffer.
+
+    The machine has two of these — an instruction-TLB and a data-TLB —
+    mirroring the split-TLB design of modern x86 parts (paper §4.1.1). The
+    split-memory technique works precisely because each TLB caches its own
+    (vpn -> frame, permissions) mapping: once an entry is cached, later
+    accesses are served from it without consulting the pagetable, so the two
+    TLBs can deliberately be driven out of sync. *)
+
+type entry = { vpn : int; frame : int; user : bool; writable : bool; nx : bool }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+type t
+
+val create : name:string -> capacity:int -> t
+val name : t -> string
+val capacity : t -> int
+val size : t -> int
+val stats : t -> stats
+
+val lookup : t -> int -> entry option
+(** Lookup by virtual page number; updates hit/miss statistics. *)
+
+val peek : t -> int -> entry option
+(** Lookup without touching statistics (for tests and assertions). *)
+
+val insert : t -> entry -> unit
+(** Insert (replacing any entry for the same vpn); evicts FIFO when full. *)
+
+val invalidate : t -> int -> unit
+(** [invlpg]: drop the entry for one vpn, if present. *)
+
+val flush : t -> unit
+(** Drop everything — what a CR3 reload (context switch) does. *)
+
+val pp_stats : Format.formatter -> t -> unit

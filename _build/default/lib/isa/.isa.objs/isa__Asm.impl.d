@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Char Encode Hashtbl Insn List String

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Buffer Char Decode Fmt Insn List String

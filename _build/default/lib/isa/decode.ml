@@ -1,0 +1,53 @@
+type error = Bad_opcode of int | Bad_register of int
+
+let sign32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+(* Decoding pulls bytes one at a time through [fetch] so that an instruction
+   straddling a page boundary performs a fetch-access on both pages, exactly
+   as a hardware prefetcher would. [fetch] may raise (e.g. a page fault). *)
+let decode ~fetch pc =
+  let u8 off = fetch (pc + off) land 0xFF in
+  let u32 off = u8 off lor (u8 (off + 1) lsl 8) lor (u8 (off + 2) lsl 16) lor (u8 (off + 3) lsl 24) in
+  let reg off k =
+    let v = u8 off in
+    match Reg.of_int v with Some r -> k r | None -> Error (Bad_register v)
+  in
+  let opcode = u8 0 in
+  match opcode with
+  | 0x90 -> Ok Insn.Nop
+  | 0xF4 -> Ok Insn.Hlt
+  | 0x01 -> reg 1 (fun d -> Ok (Insn.Mov_ri (d, u32 2)))
+  | 0x02 -> reg 1 (fun d -> reg 2 (fun s -> Ok (Insn.Mov_rr (d, s))))
+  | 0x03 -> reg 1 (fun d -> reg 2 (fun b -> Ok (Insn.Load (d, b, sign32 (u32 3)))))
+  | 0x04 -> reg 1 (fun b -> reg 6 (fun s -> Ok (Insn.Store (b, sign32 (u32 2), s))))
+  | 0x05 -> reg 1 (fun d -> reg 2 (fun b -> Ok (Insn.Loadb (d, b, sign32 (u32 3)))))
+  | 0x06 -> reg 1 (fun b -> reg 6 (fun s -> Ok (Insn.Storeb (b, sign32 (u32 2), s))))
+  | 0x07 -> reg 1 (fun s -> Ok (Insn.Push s))
+  | 0x08 -> reg 1 (fun d -> Ok (Insn.Pop d))
+  | 0x09 -> reg 1 (fun d -> reg 2 (fun b -> Ok (Insn.Lea (d, b, sign32 (u32 3)))))
+  | 0x10 -> reg 1 (fun d -> reg 2 (fun s -> Ok (Insn.Add (d, s))))
+  | 0x11 -> reg 1 (fun d -> reg 2 (fun s -> Ok (Insn.Sub (d, s))))
+  | 0x12 -> reg 1 (fun d -> Ok (Insn.Add_ri (d, sign32 (u32 2))))
+  | 0x13 -> reg 1 (fun a -> reg 2 (fun b -> Ok (Insn.Cmp (a, b))))
+  | 0x14 -> reg 1 (fun a -> Ok (Insn.Cmp_ri (a, sign32 (u32 2))))
+  | 0x15 -> reg 1 (fun d -> reg 2 (fun s -> Ok (Insn.And_ (d, s))))
+  | 0x16 -> reg 1 (fun d -> reg 2 (fun s -> Ok (Insn.Or_ (d, s))))
+  | 0x17 -> reg 1 (fun d -> reg 2 (fun s -> Ok (Insn.Xor (d, s))))
+  | 0x18 -> reg 1 (fun d -> reg 2 (fun s -> Ok (Insn.Mul (d, s))))
+  | 0x19 -> reg 1 (fun d -> Ok (Insn.Shl (d, u8 2)))
+  | 0x1A -> reg 1 (fun d -> Ok (Insn.Shr (d, u8 2)))
+  | 0x20 -> Ok (Insn.Jmp (Rel (sign32 (u32 1))))
+  | 0x21 -> Ok (Insn.Jz (Rel (sign32 (u32 1))))
+  | 0x22 -> Ok (Insn.Jnz (Rel (sign32 (u32 1))))
+  | 0x23 -> Ok (Insn.Jl (Rel (sign32 (u32 1))))
+  | 0x24 -> Ok (Insn.Jge (Rel (sign32 (u32 1))))
+  | 0x28 -> reg 1 (fun s -> Ok (Insn.Jmp_r s))
+  | 0x30 -> Ok (Insn.Call (Rel (sign32 (u32 1))))
+  | 0x31 -> reg 1 (fun s -> Ok (Insn.Call_r s))
+  | 0x32 -> Ok Insn.Ret
+  | 0xCD -> Ok (Insn.Int (u8 1))
+  | op -> Error (Bad_opcode op)
+
+let of_string s pos =
+  let fetch i = if i < String.length s then Char.code s.[i] else 0 in
+  decode ~fetch pos

@@ -1,0 +1,18 @@
+(** Instruction decoding, byte-at-a-time through a fetch callback. *)
+
+type error =
+  | Bad_opcode of int  (** undefined opcode — an invalid-opcode fault *)
+  | Bad_register of int  (** register field outside 0..7 *)
+
+val decode : fetch:(int -> int) -> int -> (Insn.t, error) result
+(** [decode ~fetch pc] decodes the instruction at address [pc]. Each byte is
+    obtained via [fetch addr]; [fetch] may raise (e.g. a simulated page
+    fault) and the exception propagates, modelling a fault during the
+    instruction fetch. Relative targets are sign-extended. *)
+
+val of_string : string -> int -> (Insn.t, error) result
+(** Decode from a raw byte string at the given offset; out-of-range bytes
+    read as zero. *)
+
+val sign32 : int -> int
+(** Interpret a 32-bit value as a signed two's-complement integer. *)

@@ -1,0 +1,140 @@
+exception Unresolved_label of string
+
+let mask32 v = v land 0xFFFFFFFF
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u32 buf v =
+  let v = mask32 v in
+  add_u8 buf v;
+  add_u8 buf (v lsr 8);
+  add_u8 buf (v lsr 16);
+  add_u8 buf (v lsr 24)
+
+let add_reg buf r = add_u8 buf (Reg.to_int r)
+
+let rel = function
+  | Insn.Rel d -> d
+  | Insn.Lbl l -> raise (Unresolved_label l)
+
+let add buf insn =
+  let op = add_u8 buf in
+  match (insn : Insn.t) with
+  | Nop -> op 0x90
+  | Hlt -> op 0xF4
+  | Mov_ri (d, i) ->
+    op 0x01;
+    add_reg buf d;
+    add_u32 buf i
+  | Mov_rr (d, s) ->
+    op 0x02;
+    add_reg buf d;
+    add_reg buf s
+  | Load (d, b, off) ->
+    op 0x03;
+    add_reg buf d;
+    add_reg buf b;
+    add_u32 buf off
+  | Store (b, off, s) ->
+    op 0x04;
+    add_reg buf b;
+    add_u32 buf off;
+    add_reg buf s
+  | Loadb (d, b, off) ->
+    op 0x05;
+    add_reg buf d;
+    add_reg buf b;
+    add_u32 buf off
+  | Storeb (b, off, s) ->
+    op 0x06;
+    add_reg buf b;
+    add_u32 buf off;
+    add_reg buf s
+  | Push s ->
+    op 0x07;
+    add_reg buf s
+  | Pop d ->
+    op 0x08;
+    add_reg buf d
+  | Lea (d, b, off) ->
+    op 0x09;
+    add_reg buf d;
+    add_reg buf b;
+    add_u32 buf off
+  | Add (d, s) ->
+    op 0x10;
+    add_reg buf d;
+    add_reg buf s
+  | Sub (d, s) ->
+    op 0x11;
+    add_reg buf d;
+    add_reg buf s
+  | Add_ri (d, i) ->
+    op 0x12;
+    add_reg buf d;
+    add_u32 buf i
+  | Cmp (a, b') ->
+    op 0x13;
+    add_reg buf a;
+    add_reg buf b'
+  | Cmp_ri (a, i) ->
+    op 0x14;
+    add_reg buf a;
+    add_u32 buf i
+  | And_ (d, s) ->
+    op 0x15;
+    add_reg buf d;
+    add_reg buf s
+  | Or_ (d, s) ->
+    op 0x16;
+    add_reg buf d;
+    add_reg buf s
+  | Xor (d, s) ->
+    op 0x17;
+    add_reg buf d;
+    add_reg buf s
+  | Mul (d, s) ->
+    op 0x18;
+    add_reg buf d;
+    add_reg buf s
+  | Shl (d, i) ->
+    op 0x19;
+    add_reg buf d;
+    add_u8 buf i
+  | Shr (d, i) ->
+    op 0x1A;
+    add_reg buf d;
+    add_u8 buf i
+  | Jmp t ->
+    op 0x20;
+    add_u32 buf (rel t)
+  | Jz t ->
+    op 0x21;
+    add_u32 buf (rel t)
+  | Jnz t ->
+    op 0x22;
+    add_u32 buf (rel t)
+  | Jl t ->
+    op 0x23;
+    add_u32 buf (rel t)
+  | Jge t ->
+    op 0x24;
+    add_u32 buf (rel t)
+  | Jmp_r s ->
+    op 0x28;
+    add_reg buf s
+  | Call t ->
+    op 0x30;
+    add_u32 buf (rel t)
+  | Call_r s ->
+    op 0x31;
+    add_reg buf s
+  | Ret -> op 0x32
+  | Int n ->
+    op 0xCD;
+    add_u8 buf n
+
+let to_string insn =
+  let buf = Buffer.create 8 in
+  add buf insn;
+  Buffer.contents buf

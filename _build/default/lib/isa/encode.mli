@@ -1,0 +1,14 @@
+(** Byte encoding of instructions (little-endian immediates). *)
+
+exception Unresolved_label of string
+(** Raised when encoding a jump/call whose target is still a {!Insn.Lbl};
+    {!Asm.assemble} resolves labels before encoding. *)
+
+val add : Buffer.t -> Insn.t -> unit
+(** Append the encoding of one instruction to [buf]. *)
+
+val to_string : Insn.t -> string
+(** Encoding of a single instruction as raw bytes. *)
+
+val mask32 : int -> int
+(** Truncate to 32 bits (the machine's word size). *)

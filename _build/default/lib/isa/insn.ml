@@ -1,0 +1,87 @@
+type target = Rel of int | Lbl of string
+
+type t =
+  | Nop
+  | Hlt
+  | Mov_ri of Reg.t * int
+  | Mov_rr of Reg.t * Reg.t
+  | Load of Reg.t * Reg.t * int
+  | Store of Reg.t * int * Reg.t
+  | Loadb of Reg.t * Reg.t * int
+  | Storeb of Reg.t * int * Reg.t
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Lea of Reg.t * Reg.t * int
+  | Add of Reg.t * Reg.t
+  | Sub of Reg.t * Reg.t
+  | Add_ri of Reg.t * int
+  | Cmp of Reg.t * Reg.t
+  | Cmp_ri of Reg.t * int
+  | And_ of Reg.t * Reg.t
+  | Or_ of Reg.t * Reg.t
+  | Xor of Reg.t * Reg.t
+  | Mul of Reg.t * Reg.t
+  | Shl of Reg.t * int
+  | Shr of Reg.t * int
+  | Jmp of target
+  | Jz of target
+  | Jnz of target
+  | Jl of target
+  | Jge of target
+  | Jmp_r of Reg.t
+  | Call of target
+  | Call_r of Reg.t
+  | Ret
+  | Int of int
+
+let size = function
+  | Nop | Hlt | Ret -> 1
+  | Push _ | Pop _ | Jmp_r _ | Call_r _ | Int _ -> 2
+  | Mov_rr _ | Add _ | Sub _ | Cmp _ | And_ _ | Or_ _ | Xor _ | Mul _
+  | Shl _ | Shr _ ->
+    3
+  | Jmp _ | Jz _ | Jnz _ | Jl _ | Jge _ | Call _ -> 5
+  | Mov_ri _ | Add_ri _ | Cmp_ri _ -> 6
+  | Load _ | Store _ | Loadb _ | Storeb _ | Lea _ -> 7
+
+let pp_target ppf = function
+  | Rel d -> Fmt.pf ppf "%+d" d
+  | Lbl l -> Fmt.string ppf l
+
+let pp ppf insn =
+  let r = Reg.pp in
+  match insn with
+  | Nop -> Fmt.string ppf "nop"
+  | Hlt -> Fmt.string ppf "hlt"
+  | Mov_ri (d, i) -> Fmt.pf ppf "mov %a, 0x%x" r d i
+  | Mov_rr (d, s) -> Fmt.pf ppf "mov %a, %a" r d r s
+  | Load (d, b, off) -> Fmt.pf ppf "mov %a, [%a%+d]" r d r b off
+  | Store (b, off, s) -> Fmt.pf ppf "mov [%a%+d], %a" r b off r s
+  | Loadb (d, b, off) -> Fmt.pf ppf "movb %a, [%a%+d]" r d r b off
+  | Storeb (b, off, s) -> Fmt.pf ppf "movb [%a%+d], %a" r b off r s
+  | Push s -> Fmt.pf ppf "push %a" r s
+  | Pop d -> Fmt.pf ppf "pop %a" r d
+  | Lea (d, b, off) -> Fmt.pf ppf "lea %a, [%a%+d]" r d r b off
+  | Add (d, s) -> Fmt.pf ppf "add %a, %a" r d r s
+  | Sub (d, s) -> Fmt.pf ppf "sub %a, %a" r d r s
+  | Add_ri (d, i) -> Fmt.pf ppf "add %a, %d" r d i
+  | Cmp (a, b) -> Fmt.pf ppf "cmp %a, %a" r a r b
+  | Cmp_ri (a, i) -> Fmt.pf ppf "cmp %a, %d" r a i
+  | And_ (d, s) -> Fmt.pf ppf "and %a, %a" r d r s
+  | Or_ (d, s) -> Fmt.pf ppf "or %a, %a" r d r s
+  | Xor (d, s) -> Fmt.pf ppf "xor %a, %a" r d r s
+  | Mul (d, s) -> Fmt.pf ppf "mul %a, %a" r d r s
+  | Shl (d, i) -> Fmt.pf ppf "shl %a, %d" r d i
+  | Shr (d, i) -> Fmt.pf ppf "shr %a, %d" r d i
+  | Jmp t -> Fmt.pf ppf "jmp %a" pp_target t
+  | Jz t -> Fmt.pf ppf "jz %a" pp_target t
+  | Jnz t -> Fmt.pf ppf "jnz %a" pp_target t
+  | Jl t -> Fmt.pf ppf "jl %a" pp_target t
+  | Jge t -> Fmt.pf ppf "jge %a" pp_target t
+  | Jmp_r s -> Fmt.pf ppf "jmp %a" r s
+  | Call t -> Fmt.pf ppf "call %a" pp_target t
+  | Call_r s -> Fmt.pf ppf "call %a" r s
+  | Ret -> Fmt.string ppf "ret"
+  | Int n -> Fmt.pf ppf "int 0x%x" n
+
+let to_string = Fmt.to_to_string pp

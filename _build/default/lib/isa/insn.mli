@@ -1,0 +1,51 @@
+(** Instruction set of the simulated machine.
+
+    The ISA is a byte-encoded, 32-bit, little-endian instruction set with an
+    x86 flavor: [0x90] encodes {!Nop} (so NOP sleds in captured shellcode
+    look like the paper's Fig. 5c), [int 0x80] is the syscall gate, and any
+    undefined opcode — including [0x00], the content of a pristine code-copy
+    page — raises an invalid-opcode fault when fetched. *)
+
+type target =
+  | Rel of int  (** displacement relative to the end of the instruction *)
+  | Lbl of string  (** symbolic label, resolved by {!Asm.assemble} *)
+
+type t =
+  | Nop  (** 0x90 *)
+  | Hlt  (** 0xF4 — privileged; faults in user mode *)
+  | Mov_ri of Reg.t * int  (** rd <- imm32 *)
+  | Mov_rr of Reg.t * Reg.t  (** rd <- rs *)
+  | Load of Reg.t * Reg.t * int  (** rd <- mem32[rb + disp] *)
+  | Store of Reg.t * int * Reg.t  (** mem32[rb + disp] <- rs *)
+  | Loadb of Reg.t * Reg.t * int  (** rd <- zero-extended mem8[rb + disp] *)
+  | Storeb of Reg.t * int * Reg.t  (** mem8[rb + disp] <- low byte of rs *)
+  | Push of Reg.t  (** esp -= 4; mem32[esp] <- rs *)
+  | Pop of Reg.t  (** rd <- mem32[esp]; esp += 4 *)
+  | Lea of Reg.t * Reg.t * int  (** rd <- rb + disp (no memory access) *)
+  | Add of Reg.t * Reg.t
+  | Sub of Reg.t * Reg.t
+  | Add_ri of Reg.t * int
+  | Cmp of Reg.t * Reg.t  (** sets ZF/SF from rd - rs *)
+  | Cmp_ri of Reg.t * int
+  | And_ of Reg.t * Reg.t
+  | Or_ of Reg.t * Reg.t
+  | Xor of Reg.t * Reg.t
+  | Mul of Reg.t * Reg.t
+  | Shl of Reg.t * int  (** shift left by imm8 *)
+  | Shr of Reg.t * int  (** logical shift right by imm8 *)
+  | Jmp of target
+  | Jz of target  (** jump if ZF *)
+  | Jnz of target
+  | Jl of target  (** jump if SF (signed less after Cmp) *)
+  | Jge of target
+  | Jmp_r of Reg.t  (** indirect jump *)
+  | Call of target  (** pushes return address *)
+  | Call_r of Reg.t  (** indirect call *)
+  | Ret  (** pops return address *)
+  | Int of int  (** software interrupt; 0x80 = syscall *)
+
+val size : t -> int
+(** Encoded size in bytes (independent of label resolution). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

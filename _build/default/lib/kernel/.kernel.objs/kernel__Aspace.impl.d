@@ -1,0 +1,1 @@
+lib/kernel/aspace.ml: Bytes Hashtbl Layout List Option Pte String

@@ -1,0 +1,1 @@
+lib/kernel/aspace.mli: Hashtbl Hw Pte

@@ -1,0 +1,1 @@
+lib/kernel/event_log.ml: Char Fmt List String

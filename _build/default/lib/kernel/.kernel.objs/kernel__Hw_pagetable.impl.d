@@ -1,0 +1,1 @@
+lib/kernel/hw_pagetable.ml: Frame_alloc Hw

@@ -1,0 +1,1 @@
+lib/kernel/hw_pagetable.mli: Frame_alloc Hw

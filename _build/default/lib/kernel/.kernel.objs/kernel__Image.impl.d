@@ -1,0 +1,1 @@
+lib/kernel/image.ml: Bytes Char Hashtbl Isa Layout List Signature String

@@ -1,0 +1,1 @@
+lib/kernel/os.ml: Array Aspace Buffer Bytes Char Event_log Fmt Frame_alloc Hashtbl Hw Image Isa Layout List Option Pipe Proc Protection Pte Queue Random Signature String

@@ -1,0 +1,1 @@
+lib/kernel/os.mli: Aspace Event_log Frame_alloc Hw Image Isa Proc Protection Pte

@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Array Aspace Fmt Hashtbl Hw List Pipe

@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Aspace Format Hashtbl Hw Pipe

@@ -1,0 +1,1 @@
+lib/kernel/protection.ml: Aspace Event_log Frame_alloc Hw Proc Pte

@@ -1,0 +1,1 @@
+lib/kernel/protection.mli: Aspace Event_log Frame_alloc Hw Proc Pte

@@ -1,0 +1,1 @@
+lib/kernel/signature.ml: Char List String

@@ -1,0 +1,71 @@
+type source = Zero | Image_bytes of { base : int; bytes : string }
+
+type region = {
+  lo : int;
+  mutable hi : int;
+  kind : Pte.kind;
+  mutable writable : bool;
+  mutable execable : bool;
+  source : source;
+}
+
+type t = {
+  page_size : int;
+  ptes : (int, Pte.t) Hashtbl.t;
+  mutable regions : region list;
+  mutable brk : int;
+  mutable mmap_cursor : int;
+}
+
+let create ~page_size =
+  {
+    page_size;
+    ptes = Hashtbl.create 64;
+    regions = [];
+    brk = Layout.heap_base;
+    mmap_cursor = Layout.mmap_base;
+  }
+
+let page_size t = t.page_size
+let add_region t r = t.regions <- r :: t.regions
+let regions t = t.regions
+let find_region t vpn = List.find_opt (fun r -> vpn >= r.lo && vpn < r.hi) t.regions
+
+let pte t vpn = Hashtbl.find_opt t.ptes vpn
+let set_pte t (p : Pte.t) = Hashtbl.replace t.ptes p.vpn p
+let remove_pte t vpn = Hashtbl.remove t.ptes vpn
+let iter_ptes t f = Hashtbl.iter (fun _ p -> f p) t.ptes
+let mapped_count t = Hashtbl.length t.ptes
+
+let walk t vpn = Option.map Pte.to_hw (pte t vpn)
+
+(* Hardware-split views (§3.3.1): the code pagetable maps split pages to
+   their code copy, the data pagetable to their data copy; everything else
+   is shared. Both views are user-accessible — with dedicated hardware
+   there is nothing to trap. *)
+let walk_code_view t vpn =
+  Option.map
+    (fun (p : Pte.t) -> { (Pte.to_hw p) with frame = Pte.code_frame p; user = true })
+    (pte t vpn)
+
+let walk_data_view t vpn =
+  Option.map
+    (fun (p : Pte.t) -> { (Pte.to_hw p) with frame = Pte.data_frame p; user = true })
+    (pte t vpn)
+
+(* Contents a freshly demand-mapped page should start with: the matching
+   slice of the backing image segment (zero-padded), or zeros. *)
+let page_content t region vpn =
+  match region.source with
+  | Zero -> String.make t.page_size '\000'
+  | Image_bytes { base; bytes } ->
+    let page_start = (vpn * t.page_size) - base in
+    let buf = Bytes.make t.page_size '\000' in
+    let src_from = max 0 page_start in
+    let dst_from = src_from - page_start in
+    let len = min (String.length bytes - src_from) (t.page_size - dst_from) in
+    if len > 0 then Bytes.blit_string bytes src_from buf dst_from len;
+    Bytes.to_string buf
+
+let vpn_of_addr t addr = addr / t.page_size
+let page_base t vpn = vpn * t.page_size

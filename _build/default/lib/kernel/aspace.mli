@@ -1,0 +1,51 @@
+(** Per-process address space: the pagetable plus the region map that
+    drives demand paging. *)
+
+type source =
+  | Zero  (** anonymous zero-fill (bss, heap, stack, mmap) *)
+  | Image_bytes of { base : int; bytes : string }  (** file-backed segment *)
+
+type region = {
+  lo : int;  (** first vpn (inclusive) *)
+  mutable hi : int;  (** last vpn (exclusive); mutable for brk/mprotect *)
+  kind : Pte.kind;
+  mutable writable : bool;
+  mutable execable : bool;
+  source : source;
+}
+
+type t = {
+  page_size : int;
+  ptes : (int, Pte.t) Hashtbl.t;
+  mutable regions : region list;
+  mutable brk : int;
+  mutable mmap_cursor : int;
+}
+
+val create : page_size:int -> t
+val page_size : t -> int
+val add_region : t -> region -> unit
+val regions : t -> region list
+val find_region : t -> int -> region option
+val pte : t -> int -> Pte.t option
+val set_pte : t -> Pte.t -> unit
+val remove_pte : t -> int -> unit
+val iter_ptes : t -> (Pte.t -> unit) -> unit
+val mapped_count : t -> int
+
+val walk : t -> int -> Hw.Mmu.hw_pte option
+(** The hardware page-walk view of this address space (feed to
+    {!Hw.Mmu.reload_cr3}). *)
+
+val walk_code_view : t -> int -> Hw.Mmu.hw_pte option
+(** §3.3.1 dual-pagetable hardware: the CR3-C view — split pages resolve
+    to their code copy, unrestricted. *)
+
+val walk_data_view : t -> int -> Hw.Mmu.hw_pte option
+(** The CR3-D view — split pages resolve to their data copy. *)
+
+val page_content : t -> region -> int -> string
+(** Initial contents for demand-mapping [vpn] of [region]. *)
+
+val vpn_of_addr : t -> int -> int
+val page_base : t -> int -> int

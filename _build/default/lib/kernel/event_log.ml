@@ -1,0 +1,53 @@
+type event =
+  | Exec_shell of { pid : int; path : string }
+  | Injection_detected of { pid : int; eip : int; mode : string }
+  | Shellcode_dump of { pid : int; eip : int; bytes : string }
+  | Forensic_injected of { pid : int; new_eip : int }
+  | Recovery_invoked of { pid : int; handler : int; faulting_eip : int }
+  | Execution_trail of { pid : int; eips : int list }
+  | Signal_delivered of { pid : int; signal : string }
+  | Syscall_traced of { pid : int; name : string; info : string }
+  | Process_exited of { pid : int; status : string }
+  | Library_rejected of { name : string }
+  | Note of string
+
+let pp_event ppf = function
+  | Exec_shell { pid; path } -> Fmt.pf ppf "[pid %d] execve(%S) -> shell spawned" pid path
+  | Injection_detected { pid; eip; mode } ->
+    Fmt.pf ppf "[pid %d] code injection detected at eip=0x%08x (mode=%s)" pid eip mode
+  | Shellcode_dump { pid; eip; bytes } ->
+    Fmt.pf ppf "[pid %d] shellcode at eip=0x%08x: %s" pid eip
+      (String.concat " " (List.init (String.length bytes) (fun i -> Fmt.str "%02x" (Char.code bytes.[i]))))
+  | Forensic_injected { pid; new_eip } ->
+    Fmt.pf ppf "[pid %d] forensic shellcode injected, eip=0x%08x" pid new_eip
+  | Recovery_invoked { pid; handler; faulting_eip } ->
+    Fmt.pf ppf "[pid %d] recovery handler 0x%08x invoked (attack eip=0x%08x)" pid handler
+      faulting_eip
+  | Execution_trail { pid; eips } ->
+    Fmt.pf ppf "[pid %d] trail: %s" pid
+      (String.concat " -> " (List.map (Fmt.str "0x%08x") eips))
+  | Signal_delivered { pid; signal } -> Fmt.pf ppf "[pid %d] killed by %s" pid signal
+  | Syscall_traced { pid; name; info } -> Fmt.pf ppf "[sebek pid %d] %s %s" pid name info
+  | Process_exited { pid; status } -> Fmt.pf ppf "[pid %d] exited: %s" pid status
+  | Library_rejected { name } -> Fmt.pf ppf "library %S rejected: bad signature" name
+  | Note s -> Fmt.string ppf s
+
+type t = { mutable events : event list }
+
+let create () = { events = [] }
+let add t e = t.events <- e :: t.events
+let note t fmt = Fmt.kstr (fun s -> add t (Note s)) fmt
+let to_list t = List.rev t.events
+let count t pred = List.length (List.filter pred (to_list t))
+
+let find_first t pred = List.find_opt pred (to_list t)
+
+let shell_spawned t =
+  List.exists (function Exec_shell _ -> true | _ -> false) (to_list t)
+
+let detections t =
+  List.filter_map
+    (function Injection_detected { pid; eip; mode } -> Some (pid, eip, mode) | _ -> None)
+    (to_list t)
+
+let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_event) ppf (to_list t)

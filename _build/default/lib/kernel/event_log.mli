@@ -1,0 +1,37 @@
+(** Kernel event log: security-relevant events (detections, shell spawns,
+    Sebek-style traces) that attack runners and tests assert against. *)
+
+type event =
+  | Exec_shell of { pid : int; path : string }
+      (** the guest reached [execve] — the marker for attack success *)
+  | Injection_detected of { pid : int; eip : int; mode : string }
+  | Shellcode_dump of { pid : int; eip : int; bytes : string }
+  | Forensic_injected of { pid : int; new_eip : int }
+  | Recovery_invoked of { pid : int; handler : int; faulting_eip : int }
+      (** the application's registered recovery callback took over *)
+  | Execution_trail of { pid : int; eips : int list }
+      (** recent control flow, oldest first (forensics) *)
+  | Signal_delivered of { pid : int; signal : string }
+  | Syscall_traced of { pid : int; name : string; info : string }
+  | Process_exited of { pid : int; status : string }
+  | Library_rejected of { name : string }
+  | Note of string
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val create : unit -> t
+val add : t -> event -> unit
+val note : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val to_list : t -> event list
+(** Oldest first. *)
+
+val count : t -> (event -> bool) -> int
+val find_first : t -> (event -> bool) -> event option
+val shell_spawned : t -> bool
+
+val detections : t -> (int * int * string) list
+(** [(pid, eip, mode)] for every injection detection, oldest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+exception Out_of_frames
+
+type t = {
+  phys : Hw.Phys.t;
+  free : int Stack.t;
+  refcount : int array;
+  mutable in_use : int;
+  mutable peak_in_use : int;
+}
+
+let create phys =
+  let n = Hw.Phys.frame_count phys in
+  let free = Stack.create () in
+  (* Frame 0 is reserved as a never-allocated null frame. *)
+  for frame = n - 1 downto 1 do
+    Stack.push frame free
+  done;
+  { phys; free; refcount = Array.make n 0; in_use = 0; peak_in_use = 0 }
+
+let in_use t = t.in_use
+let peak_in_use t = t.peak_in_use
+
+let alloc t =
+  match Stack.pop_opt t.free with
+  | None -> raise Out_of_frames
+  | Some frame ->
+    t.refcount.(frame) <- 1;
+    Hw.Phys.fill t.phys ~frame 0;
+    t.in_use <- t.in_use + 1;
+    if t.in_use > t.peak_in_use then t.peak_in_use <- t.in_use;
+    frame
+
+let incref t frame =
+  if t.refcount.(frame) <= 0 then invalid_arg "Frame_alloc.incref: frame not allocated";
+  t.refcount.(frame) <- t.refcount.(frame) + 1
+
+let refcount t frame = t.refcount.(frame)
+
+let decref t frame =
+  if t.refcount.(frame) <= 0 then invalid_arg "Frame_alloc.decref: frame not allocated";
+  t.refcount.(frame) <- t.refcount.(frame) - 1;
+  if t.refcount.(frame) = 0 then begin
+    t.in_use <- t.in_use - 1;
+    Stack.push frame t.free
+  end
+
+let free_frames t = Stack.length t.free
+
+(* Adjacent-pair allocation: the paper's prototype creates the two copies
+   of a split page "side-by-side" so the partner is found by frame
+   arithmetic (even frame = code copy, +1 = data copy). Pairs come from a
+   dedicated free list plus a search of the general free list. *)
+let alloc_pair t =
+  let pending = ref [] in
+  let rec hunt () =
+    match Stack.pop_opt t.free with
+    | None -> None
+    | Some f ->
+      if f land 1 = 0 && t.refcount.(f) = 0 && f + 1 < Array.length t.refcount
+         && t.refcount.(f + 1) = 0
+         && List.exists (fun g -> g = f + 1) !pending
+      then Some f
+      else if f land 1 = 1 && f - 1 > 0 && t.refcount.(f) = 0 && t.refcount.(f - 1) = 0
+              && List.exists (fun g -> g = f - 1) !pending
+      then Some (f - 1)
+      else begin
+        pending := f :: !pending;
+        hunt ()
+      end
+  in
+  let found =
+    (* fast path: two consecutive pops that happen to be adjacent *)
+    hunt ()
+  in
+  match found with
+  | None ->
+    List.iter (fun f -> Stack.push f t.free) !pending;
+    raise Out_of_frames
+  | Some even ->
+    List.iter
+      (fun f -> if f <> even && f <> even + 1 then Stack.push f t.free)
+      !pending;
+    t.refcount.(even) <- 1;
+    t.refcount.(even + 1) <- 1;
+    Hw.Phys.fill t.phys ~frame:even 0;
+    Hw.Phys.fill t.phys ~frame:(even + 1) 0;
+    t.in_use <- t.in_use + 2;
+    if t.in_use > t.peak_in_use then t.peak_in_use <- t.in_use;
+    (even, even + 1)

@@ -1,0 +1,29 @@
+(** Reference-counted physical frame allocator.
+
+    Reference counting supports copy-on-write sharing after [fork] and the
+    shared code copies of split pages. Frame 0 is reserved and never handed
+    out, so 0 can serve as a null frame value. *)
+
+exception Out_of_frames
+
+type t
+
+val create : Hw.Phys.t -> t
+val alloc : t -> int
+(** Allocate a zeroed frame with refcount 1. @raise Out_of_frames. *)
+
+val incref : t -> int -> unit
+val decref : t -> int -> unit
+(** Drop a reference; the frame returns to the free list at zero. *)
+
+val refcount : t -> int -> int
+val in_use : t -> int
+(** Number of frames currently allocated (for the memory-overhead study). *)
+
+val peak_in_use : t -> int
+val free_frames : t -> int
+
+val alloc_pair : t -> int * int
+(** Allocate two side-by-side frames [(even, even+1)] — how the paper's
+    prototype lays out a split page's code and data copies so the partner
+    frame is found by arithmetic rather than stored. @raise Out_of_frames. *)

@@ -1,0 +1,16 @@
+(* Canonical virtual-memory layout for guest processes, mirroring a classic
+   32-bit Linux process image. *)
+
+let code_base = 0x08048000
+let rodata_base = 0x08050000
+let data_base = 0x08060000
+let bss_base = 0x08070000
+let heap_base = 0x09000000
+let heap_limit = 0x0A000000
+let mixed_base = 0x080B0000
+let lib_base = 0x40000000
+let mmap_base = 0x50000000
+let mmap_limit = 0x60000000
+let stack_top = 0xBFFFE000
+let stack_max_bytes = 64 * 4096
+let initial_esp = stack_top - 16

@@ -1,0 +1,19 @@
+(** Canonical virtual-memory layout for guest processes — a classic 32-bit
+    Linux image (code at 0x08048000, stack below 0xC0000000). Segment spans
+    are pairwise disjoint (checked by the [units] test suite); several
+    bases are chosen so common buffer addresses contain no 0x0A byte, the
+    terminator of the victims' gets()-style overflow bugs. *)
+
+val code_base : int
+val rodata_base : int
+val data_base : int
+val bss_base : int
+val heap_base : int
+val heap_limit : int
+val mixed_base : int
+val lib_base : int
+val mmap_base : int
+val mmap_limit : int
+val stack_top : int
+val stack_max_bytes : int
+val initial_esp : int

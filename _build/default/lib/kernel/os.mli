@@ -1,0 +1,98 @@
+(** The mini operating system: loader, demand paging, copy-on-write, fork,
+    pipes, syscalls, signals and a round-robin scheduler, all built around a
+    pluggable {!Protection.t}.
+
+    The guest/host boundary mirrors the paper's: guest code runs on the
+    simulated CPU in user mode; everything here is "kernel" and manipulates
+    PTEs and TLBs the way the Linux patch of §5 does. *)
+
+exception Rejected_image of string
+(** Raised by {!spawn} when signature verification fails (paper §4.3). *)
+
+exception Efault
+(** Kernel access to an unmapped/forbidden guest address. *)
+
+type stop_reason =
+  | All_exited  (** every process is a zombie *)
+  | All_blocked  (** deadlock or waiting for external input (e.g. stdin) *)
+  | Fuel_exhausted
+
+type t
+
+val create :
+  ?frames:int ->
+  ?page_size:int ->
+  ?quantum:int ->
+  ?cost_params:Hw.Cost.params ->
+  ?itlb_capacity:int ->
+  ?dtlb_capacity:int ->
+  ?stack_jitter_pages:int ->
+  ?verify_signatures:bool ->
+  ?seed:int ->
+  ?tlb_fill:Hw.Mmu.fill_mode ->
+  ?caches:bool ->
+  protection:Protection.t ->
+  unit ->
+  t
+(** [stack_jitter_pages] models the slight stack-placement randomization of
+    Linux 2.6 that made the Samba exploit brute-force (paper §6.1.2).
+    [tlb_fill] selects the x86 hardware page walker (default) or the
+    SPARC-style software-managed TLB of §4.7. *)
+
+val ctx : t -> Protection.ctx
+val log : t -> Event_log.t
+val cost : t -> Hw.Cost.t
+val mmu : t -> Hw.Mmu.t
+val phys : t -> Hw.Phys.t
+val alloc : t -> Frame_alloc.t
+val page_size : t -> int
+val proc : t -> int -> Proc.t option
+val procs : t -> Proc.t list
+val protection : t -> Protection.t
+val children_of : t -> Proc.t -> Proc.t list
+
+val register_library : t -> string -> Isa.Asm.program -> int
+(** Install a dynamic library (paper §4.3): assembled at a prelink base,
+    signed, loadable by guests via the [uselib] syscall (137), which
+    validates the signature and maps it (split per policy on demand).
+    Returns the base address. *)
+
+val tamper_library : t -> string -> unit
+(** Corrupt a registered library's code without re-signing — the loader
+    must then reject it. *)
+
+val spawn : t -> ?eager:bool -> ?protected:bool -> ?name:string -> Image.t -> Proc.t
+(** Load an image into a fresh process. [eager] maps (and, under split
+    memory, duplicates) every image page at load time — the paper's
+    prototype behaviour; the default is demand paging, the optimization
+    §5.1 proposes. [protected:false] gives the process a plain von Neumann
+    view (no splitting, no NX marking) — the per-process backwards
+    compatibility of §3.3.1, needed e.g. for self-modifying programs.
+    @raise Rejected_image on signature failure. *)
+
+val feed_stdin : t -> Proc.t -> string -> int
+(** Driver-side injection into the process console (the "network"). *)
+
+val close_stdin : t -> Proc.t -> unit
+val read_stdout : t -> Proc.t -> string
+
+val connect : ?capacity:int -> t -> Proc.t -> Proc.t -> unit
+(** Cross-wire two processes' fds 0/1 with a fresh pipe pair
+    (client/server workloads). *)
+
+val run : ?fuel:int -> t -> stop_reason
+(** Schedule until exit, deadlock, or fuel exhaustion. Exploit drivers
+    alternate [run] / [feed_stdin]. *)
+
+val kill : t -> Proc.t -> Proc.signal -> unit
+val terminate : t -> Proc.t -> Proc.exit_status -> unit
+
+val copy_from_user : t -> Proc.t -> int -> int -> string
+(** Kernel read of guest memory (reaches split pages' data copies);
+    demand-maps as needed. @raise Efault. *)
+
+val copy_to_user : t -> Proc.t -> int -> string -> unit
+val read_cstring : t -> Proc.t -> int -> max:int -> string
+val load_pagetables : t -> Proc.t -> unit
+val map_demand_page : t -> Proc.t -> Aspace.region -> int -> Pte.t
+val cow_service : t -> Pte.t -> unit

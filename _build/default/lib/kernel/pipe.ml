@@ -1,0 +1,58 @@
+type t = {
+  name : string;
+  capacity : int;
+  buf : Buffer.t;
+  mutable read_pos : int;
+  mutable readers : int;
+  mutable writers : int;
+  mutable bytes_written : int;
+}
+
+let create ?(capacity = 65536) ~name () =
+  {
+    name;
+    capacity;
+    buf = Buffer.create 256;
+    read_pos = 0;
+    readers = 1;
+    writers = 1;
+    bytes_written = 0;
+  }
+
+let name t = t.name
+let level t = Buffer.length t.buf - t.read_pos
+let is_empty t = level t = 0
+let space t = t.capacity - level t
+let has_writers t = t.writers > 0
+let has_readers t = t.readers > 0
+let bytes_written t = t.bytes_written
+
+let add_reader t = t.readers <- t.readers + 1
+let add_writer t = t.writers <- t.writers + 1
+let close_reader t = t.readers <- max 0 (t.readers - 1)
+let close_writer t = t.writers <- max 0 (t.writers - 1)
+
+(* Compact the internal buffer once the consumed prefix dominates, so a
+   long-lived pipe doesn't grow without bound. *)
+let compact t =
+  if t.read_pos > 4096 && t.read_pos * 2 > Buffer.length t.buf then begin
+    let rest = Buffer.sub t.buf t.read_pos (level t) in
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf rest;
+    t.read_pos <- 0
+  end
+
+let write t s =
+  let n = min (String.length s) (space t) in
+  Buffer.add_substring t.buf s 0 n;
+  t.bytes_written <- t.bytes_written + n;
+  n
+
+let read t ~max =
+  let n = min max (level t) in
+  let s = Buffer.sub t.buf t.read_pos n in
+  t.read_pos <- t.read_pos + n;
+  compact t;
+  s
+
+let drain t = read t ~max:(level t)

@@ -1,0 +1,30 @@
+(** Bounded byte FIFO: the kernel's pipe object, also used for process
+    consoles (the "network" between exploit drivers and victim servers). *)
+
+type t
+
+val create : ?capacity:int -> name:string -> unit -> t
+val name : t -> string
+val level : t -> int
+(** Bytes currently buffered. *)
+
+val is_empty : t -> bool
+val space : t -> int
+val has_writers : t -> bool
+val has_readers : t -> bool
+val bytes_written : t -> int
+(** Total bytes ever accepted (pipe-throughput metric). *)
+
+val add_reader : t -> unit
+val add_writer : t -> unit
+val close_reader : t -> unit
+val close_writer : t -> unit
+
+val write : t -> string -> int
+(** Append up to the available space; returns the number of bytes taken. *)
+
+val read : t -> max:int -> string
+(** Consume up to [max] buffered bytes (possibly [""]). *)
+
+val drain : t -> string
+(** Consume everything buffered. *)

@@ -1,0 +1,58 @@
+(** The kernel's protection-mechanism interface.
+
+    The paper implements split memory as a patch touching five kernel
+    subsystems (loader, page-fault handler, debug-interrupt handler, memory
+    management, signal handling). This interface is the seam those patches
+    plug into: the split-memory module and the NX-bit baseline are both
+    implementations of {!t}, and the stock kernel is {!none}. *)
+
+type ctx = {
+  phys : Hw.Phys.t;
+  alloc : Frame_alloc.t;
+  mmu : Hw.Mmu.t;
+  cost : Hw.Cost.t;
+  log : Event_log.t;
+}
+
+type fault_result =
+  | Handled  (** fault serviced; restart the faulting instruction *)
+  | Not_ours  (** pass on: the kernel delivers SIGSEGV *)
+
+type opcode_verdict =
+  | Benign  (** a genuine illegal instruction: deliver SIGILL *)
+  | Resume  (** handled (e.g. observe mode locked the page); re-execute *)
+  | Kill_process of string  (** detected attack, break mode: terminate *)
+
+type fill_verdict =
+  | Default_fill  (** load the TLB straight from the PTE *)
+  | Fill of Hw.Tlb.entry  (** load this entry instead (split routing) *)
+  | Deny_fill  (** refuse — treated as a protection violation *)
+
+type t = {
+  name : string;
+  nx_hardware : bool;
+      (** requires/enables execute-disable enforcement in the MMU *)
+  dual_pagetables : bool;
+      (** requires the §3.3.1 hardware modification: two pagetable
+          registers, one walked on fetches and one on data accesses *)
+  on_page_mapped : ctx -> Proc.t -> Aspace.region -> Pte.t -> unit;
+      (** called by loader and demand pager right after a fresh mapping;
+          may split the page or set its NX bit *)
+  on_protection_fault : ctx -> Proc.t -> Hw.Mmu.fault -> fault_result;
+      (** permission page fault the stock kernel cannot explain (COW is
+          already handled); split memory services its supervisor faults
+          here (Algorithm 1) *)
+  on_debug_trap : ctx -> Proc.t -> bool;
+      (** single-step interrupt; true = consumed (Algorithm 2) *)
+  on_invalid_opcode : ctx -> Proc.t -> eip:int -> opcode:int -> opcode_verdict;
+      (** invalid-opcode fault — where split memory detects execution of
+          injected code and applies the response mode (Algorithm 3) *)
+  on_tlb_fill : ctx -> Proc.t -> Hw.Mmu.fault -> Pte.t -> fill_verdict;
+      (** software-managed-TLB machines only (paper §4.7): the OS's
+          TLB-miss handler asks the protection how to fill the entry; split
+          memory routes fetches to the code copy and data accesses to the
+          data copy here, with no single-stepping or walk tricks *)
+}
+
+val none : t
+(** The unprotected stock kernel. *)

@@ -1,0 +1,20 @@
+(* FNV-1a style hash (folded into OCaml's 63-bit int range), stand-in for
+   the cryptographic binary signatures of DigSig/verified-exec (paper §4.3):
+   enough to model "a tampered or unsigned image is rejected by the
+   loader". *)
+
+let mask62 = 0x3FFFFFFFFFFFFFFF
+let fnv_offset = 0xbf29ce484222325 (* FNV offset basis, truncated to 63-bit int *)
+let fnv_prime = 0x100000001b3
+
+let hash_string ?(seed = fnv_offset) s =
+  let h = ref seed in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime land mask62)
+    s;
+  !h
+
+let sign parts = List.fold_left (fun seed part -> hash_string ~seed part) fnv_offset parts
+let verify parts signature = sign parts = signature

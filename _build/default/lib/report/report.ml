@@ -1,0 +1,46 @@
+(* Plain-text rendering for the reproduced tables and figures. *)
+
+let hr widths =
+  "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let render_row widths cells =
+  "| " ^ String.concat " | " (List.map2 pad widths cells) ^ " |"
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (hr widths ^ "\n");
+  Buffer.add_string buf (render_row widths header ^ "\n");
+  Buffer.add_string buf (hr widths ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row widths row ^ "\n")) rows;
+  Buffer.add_string buf (hr widths ^ "\n");
+  Buffer.contents buf
+
+(* A horizontal bar chart for "normalized performance" figures, with the
+   paper's reference value alongside when given. *)
+let bars ?(width = 40) ~title points =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  let label_w =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 points
+  in
+  List.iter
+    (fun (label, v) ->
+      let v = if Float.is_nan v then 0.0 else v in
+      let n = int_of_float (Float.min 1.2 (Float.max 0.0 v) *. float_of_int width) in
+      Buffer.add_string buf
+        (Fmt.str "  %s  %s %.2f\n" (pad label_w label) (String.make n '#') v))
+    points;
+  Buffer.contents buf
+
+let percent v = Fmt.str "%.0f%%" (v *. 100.)

@@ -1,0 +1,10 @@
+(** Plain-text rendering of the reproduced tables and figures. *)
+
+val table : title:string -> header:string list -> string list list -> string
+(** ASCII table with box-drawing rules; column widths fit the content. *)
+
+val bars : ?width:int -> title:string -> (string * float) list -> string
+(** Horizontal bar chart for normalized-performance figures (values are
+    clamped to \[0, 1.2\] for display). *)
+
+val percent : float -> string

@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Defense Float Fmt Guests Harness Kernel List Split_memory

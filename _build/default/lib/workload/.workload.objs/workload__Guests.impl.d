@@ -1,0 +1,1 @@
+lib/workload/guests.ml: Fmt Guest Isa Kernel

@@ -1,0 +1,1 @@
+lib/workload/harness.ml: Defense Hw Kernel List

@@ -1,0 +1,210 @@
+(* The paper's performance experiments (Figs. 6–9) as data producers. Each
+   function runs the relevant workloads under the unprotected kernel and the
+   protected configuration(s) and reports normalized performance. *)
+
+type point = { x : string; value : float }
+
+let kb n = n * 1024
+
+(* Workload sizes scaled so the full evaluation runs in seconds while
+   keeping every ratio meaningful (documented in EXPERIMENTS.md). *)
+let apache_requests = 25
+let gzip_size = kb 48
+let nbench_iters = 60
+let syscall_iters = 2500
+let pipe_iters = 800
+let ctxsw_iters = 250
+let spawn_iters = 60
+let fscopy_passes = 3
+let fscopy_size = kb 24
+
+let run_apache ~defense ~size ~requests =
+  Harness.run_pair ~defense
+    (Guests.apache_server ~size ())
+    (Guests.apache_client ~size ~requests ())
+
+let apache_normalized ~defense ~size ~requests =
+  let base = run_apache ~defense:Defense.unprotected ~size ~requests in
+  let prot = run_apache ~defense ~size ~requests in
+  Harness.normalized ~baseline:base prot
+
+let single_normalized ~defense image =
+  let base = Harness.run_single ~defense:Defense.unprotected image in
+  let prot = Harness.run_single ~defense image in
+  Harness.normalized ~baseline:base prot
+
+let run_gzip ~defense ~size =
+  Harness.run_pair ~defense ~capacity:4096
+    (Guests.gzip_disk ~size ~block:4096 ())
+    (Guests.gzip ~size ())
+
+let gzip_normalized ~defense ~size =
+  let base = run_gzip ~defense:Defense.unprotected ~size in
+  let prot = run_gzip ~defense ~size in
+  Harness.normalized ~baseline:base prot
+
+let run_ctxsw ~defense ~iters =
+  Harness.run_pair ~defense (Guests.ctxsw_ping ~iters ()) (Guests.ctxsw_pong ())
+
+let ctxsw_normalized ~defense ~iters =
+  let base = run_ctxsw ~defense:Defense.unprotected ~iters in
+  let prot = run_ctxsw ~defense ~iters in
+  Harness.normalized ~baseline:base prot
+
+(* nbench reports per-test scores; the paper quotes the slowest. *)
+let nbench_results ~defense =
+  List.map
+    (fun (name, image) -> (name, single_normalized ~defense image))
+    (Guests.nbench_suite ~scale:(nbench_iters / 12))
+
+let nbench_slowest ~defense =
+  List.fold_left (fun acc (_, v) -> Float.min acc v) infinity (nbench_results ~defense)
+
+(* The Unixbench pieces; the suite index is their geometric mean, like
+   Unixbench's own scoring. *)
+let unixbench_pieces ~defense =
+  let single name image =
+    (name, single_normalized ~defense image)
+  in
+  [
+    single "dhrystone-like" (Guests.nbench ~iters:(nbench_iters / 2) ());
+    single "syscall" (Guests.syscall_bench ~iters:syscall_iters ());
+    single "pipe throughput" (Guests.pipe_throughput ~iters:pipe_iters ());
+    ("pipe-based ctxsw", ctxsw_normalized ~defense ~iters:ctxsw_iters);
+    single "process creation" (Guests.spawn_bench ~iters:spawn_iters ());
+    single "fs buffer copy" (Guests.fscopy ~passes:fscopy_passes ~size:fscopy_size ());
+  ]
+
+let unixbench_index ~defense =
+  Harness.geomean (List.map snd (unixbench_pieces ~defense))
+
+(* Fig. 6: Apache 32KB, gzip, nbench, Unixbench under stand-alone split. *)
+let fig6 ?(defense = Defense.split_standalone) () =
+  [
+    {
+      x = "Apache (32KB page)";
+      value = apache_normalized ~defense ~size:(kb 32) ~requests:apache_requests;
+    };
+    { x = "gzip"; value = gzip_normalized ~defense ~size:gzip_size };
+    { x = "nbench (slowest test)"; value = nbench_slowest ~defense };
+    { x = "Unixbench index"; value = unixbench_index ~defense };
+  ]
+
+(* Fig. 7: the contrived stress tests. *)
+let fig7 ?(defense = Defense.split_standalone) () =
+  [
+    {
+      x = "Unixbench pipe-based ctxsw";
+      value = ctxsw_normalized ~defense ~iters:ctxsw_iters;
+    };
+    {
+      x = "Apache (1KB page)";
+      value = apache_normalized ~defense ~size:(kb 1) ~requests:apache_requests;
+    };
+  ]
+
+(* Fig. 8: Apache throughput across served page sizes. *)
+let fig8 ?(defense = Defense.split_standalone) ?(sizes_kb = [ 1; 2; 4; 8; 16; 32; 64; 128 ]) () =
+  List.map
+    (fun size_kb ->
+      {
+        x = Fmt.str "%dKB" size_kb;
+        value = apache_normalized ~defense ~size:(kb size_kb) ~requests:apache_requests;
+      })
+    sizes_kb
+
+(* Fig. 9: pipe-based context switching with only a fraction of pages
+   split, the rest protected by the execute-disable bit. *)
+let fig9 ?(fractions = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]) () =
+  List.map
+    (fun pct ->
+      {
+        x = Fmt.str "%d%%" pct;
+        value = ctxsw_normalized ~defense:(Defense.split_fraction pct) ~iters:ctxsw_iters;
+      })
+    fractions
+
+(* Memory-overhead ablation: the prototype's eager splitting doubles the
+   resident image; demand paging (§5.1's proposed optimization) only
+   duplicates touched pages. *)
+let memory_overhead () =
+  let image = Guests.sparse ~data_pages:32 ~touch_pages:2 () in
+  let unprot = Harness.run_single ~defense:Defense.unprotected ~eager:true image in
+  let eager = Harness.run_single ~defense:Defense.split_standalone ~eager:true image in
+  let demand = Harness.run_single ~defense:Defense.split_standalone ~eager:false image in
+  (unprot.peak_frames, eager.peak_frames, demand.peak_frames)
+
+(* ITLB-load-method ablation: the paper's surprising §4.2.4 finding that a
+   ret-gadget ITLB load is slower than single-stepping. With the cache
+   timing model enabled, the slowdown emerges mechanistically: each gadget
+   plant/restore is a store into a cached instruction line, paying the
+   coherency invalidation + pipeline flush. *)
+let itlb_method_ablation ?(iters = 250) () =
+  let run itlb_load =
+    let protection = Split_memory.protection ~itlb_load () in
+    let k = Kernel.Os.create ~caches:true ~protection () in
+    let ping = Kernel.Os.spawn k (Guests.ctxsw_ping ~iters ()) in
+    let pong = Kernel.Os.spawn k (Guests.ctxsw_pong ()) in
+    Kernel.Os.connect k ping pong;
+    match Kernel.Os.run ~fuel:100_000_000 k with
+    | Kernel.Os.All_exited -> (Kernel.Os.cost k).cycles
+    | _ -> raise (Harness.Did_not_finish "itlb ablation")
+  in
+  (run Split_memory.Single_step, run Split_memory.Ret_gadget)
+
+(* Software-managed-TLB port ablation (paper §4.7): the same protection on
+   SPARC-style hardware needs no single-stepping and no walk tricks, so the
+   overhead should be noticeably lower. Each configuration is normalized
+   against the stock kernel on its own hardware. *)
+(* All three implementation mechanisms of the split architecture, on the
+   context-switch stress test, each normalized to the stock kernel on its
+   own hardware: the software x86 exploit (Algorithms 1-2), the §4.7
+   software-TLB port, and the §3.3.1 dual-pagetable hardware. *)
+let mechanisms_ablation ?(iters = ctxsw_iters) () =
+  let ratio ~base ~prot =
+    let b = run_ctxsw ~defense:base ~iters in
+    let p = run_ctxsw ~defense:prot ~iters in
+    Harness.normalized ~baseline:b p
+  in
+  [
+    ("x86 tlb-desync (software patch)",
+     ratio ~base:Defense.unprotected ~prot:Defense.split_standalone);
+    ("soft-tlb port (S4.7)",
+     ratio ~base:Defense.unprotected_soft_tlb ~prot:Defense.split_soft_tlb);
+    ("dual-CR3 hardware (S3.3.1)",
+     ratio ~base:Defense.unprotected ~prot:Defense.split_dual_cr3);
+  ]
+
+let soft_tlb_ablation ?(iters = ctxsw_iters) () =
+  let ratio ~base ~prot =
+    let b = run_ctxsw ~defense:base ~iters in
+    let p = run_ctxsw ~defense:prot ~iters in
+    Harness.normalized ~baseline:b p
+  in
+  let desync = ratio ~base:Defense.unprotected ~prot:Defense.split_standalone in
+  let soft = ratio ~base:Defense.unprotected_soft_tlb ~prot:Defense.split_soft_tlb in
+  (desync, soft)
+
+(* Design-space sweep: how the stand-alone overhead depends on TLB reach.
+   Larger TLBs do not help — every context switch flushes them, and it is
+   the refill (a trap per split page) that costs; the sweep demonstrates
+   the overhead is flush-driven, not capacity-driven. *)
+let tlb_capacity_sweep ?(capacities = [ 8; 16; 32; 64; 128 ]) ?(iters = 150) () =
+  List.map
+    (fun cap ->
+      let run defense =
+        let protection = Defense.to_protection defense in
+        let k =
+          Kernel.Os.create ~itlb_capacity:cap ~dtlb_capacity:cap ~protection ()
+        in
+        let ping = Kernel.Os.spawn k (Guests.ctxsw_ping ~iters ()) in
+        let pong = Kernel.Os.spawn k (Guests.ctxsw_pong ()) in
+        Kernel.Os.connect k ping pong;
+        match Kernel.Os.run ~fuel:100_000_000 k with
+        | Kernel.Os.All_exited -> (Kernel.Os.cost k).cycles
+        | _ -> raise (Harness.Did_not_finish "tlb sweep")
+      in
+      let base = run Defense.unprotected in
+      let prot = run Defense.split_standalone in
+      (cap, float_of_int base /. float_of_int prot))
+    capacities

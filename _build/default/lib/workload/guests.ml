@@ -1,0 +1,554 @@
+open Isa.Asm
+
+(* Guest benchmark programs mirroring the paper's §6.2 workloads. The
+   interaction shapes are what matter: the Apache pair context-switches per
+   request and streams the response through memory; gzip and nbench are
+   single-process compute with large/small working sets; the Unixbench
+   pieces isolate syscall, pipe, context-switch, fork and copy costs. *)
+
+(* --- Apache: server + ApacheBench client -------------------------------- *)
+
+let apache_server ?(ws_pages = 8) ~size () =
+  let body_pages = (size + 4095) / 4096 * 4096 in
+  let bss_size = body_pages + (ws_pages * 4096) + 4096 in
+  Kernel.Image.build ~name:(Fmt.str "apache-%dB" size) ~bss_size
+    ~data:(fun ~lbl:_ -> [ L "req"; Space 64 ])
+    ~code:(fun ~lbl ->
+      [ L "main"; L "serve" ]
+      @ Guest.sys_read_imm ~buf:(lbl "req") ~len:64
+      @ [
+          I (Cmp_ri (EAX, 0));
+          I (Jz (Lbl "shutdown"));
+          (* request handling walks the server's working set: config,
+             logging and connection structures spread over several pages *)
+          I (Mov_ri (ESI, lbl "bss" + body_pages));
+          I (Mov_ri (ECX, 0));
+          L "ws";
+          I (Cmp_ri (ECX, ws_pages * 4096));
+          I (Jge (Lbl "ws_end"));
+          I (Mov_rr (EDI, ESI));
+          I (Add (EDI, ECX));
+          I (Storeb (EDI, 0, ECX));
+          I (Add_ri (ECX, 4096));
+          I (Jmp (Lbl "ws"));
+          L "ws_end";
+          (* build the response body: touch a byte in each cache line *)
+          I (Mov_ri (ESI, lbl "bss"));
+          I (Mov_ri (ECX, 0));
+          L "prep";
+          I (Cmp_ri (ECX, size));
+          I (Jge (Lbl "prep_end"));
+          I (Mov_rr (EDI, ESI));
+          I (Add (EDI, ECX));
+          I (Storeb (EDI, 0, ECX));
+          I (Add_ri (ECX, 64));
+          I (Jmp (Lbl "prep"));
+          L "prep_end";
+          (* stream the body out, handling partial writes *)
+          I (Mov_ri (ESI, lbl "bss"));
+          I (Mov_ri (EDI, size));
+          L "wr";
+          I (Mov_ri (EAX, 4));
+          I (Mov_ri (EBX, 1));
+          I (Mov_rr (ECX, ESI));
+          I (Mov_rr (EDX, EDI));
+          I (Int 0x80);
+          I (Cmp_ri (EAX, 0));
+          I (Jl (Lbl "shutdown"));
+          I (Add (ESI, EAX));
+          I (Sub (EDI, EAX));
+          I (Cmp_ri (EDI, 0));
+          I (Jnz (Lbl "wr"));
+          I (Jmp (Lbl "serve"));
+          L "shutdown";
+        ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+let apache_client ~size ~requests () =
+  Kernel.Image.build ~name:"ab" ~bss_size:8192
+    ~data:(fun ~lbl:_ -> [ L "reqmsg"; Bytes "GET /\n" ])
+    ~code:(fun ~lbl ->
+      [ L "main"; I (Mov_ri (EDI, requests)); L "req_loop"; I (Cmp_ri (EDI, 0)); I (Jz (Lbl "done")) ]
+      @ Guest.sys_write_imm ~buf:(lbl "reqmsg") ~len:6 ()
+      @ [
+          I (Mov_ri (ESI, size));
+          L "rd";
+          I (Mov_ri (EAX, 3));
+          I (Mov_ri (EBX, 0));
+          I (Mov_ri (ECX, lbl "bss"));
+          I (Mov_ri (EDX, 4096));
+          I (Int 0x80);
+          I (Cmp_ri (EAX, 0));
+          I (Jz (Lbl "done"));
+          I (Sub (ESI, EAX));
+          I (Cmp_ri (ESI, 0));
+          I (Jnz (Lbl "rd"));
+          I (Add_ri (EDI, -1));
+          I (Jmp (Lbl "req_loop"));
+          L "done";
+        ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* --- gzip: streaming compression of a file read over blocking I/O ------- *)
+
+(* The "disk": streams the input file in blocks, blocking the consumer on
+   each read — the I/O pattern that made the real gzip context-switch. *)
+let gzip_disk ~size ~block () =
+  Kernel.Image.build ~name:"disk" ~bss_size:(block + 4096)
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EDI, size));
+        L "loop";
+        I (Cmp_ri (EDI, 0));
+        I (Jz (Lbl "done"));
+      ]
+      @ Guest.sys_write_imm ~buf:(lbl "bss") ~len:block ()
+      @ [ I (Sub (EDI, EAX)); I (Jmp (Lbl "loop")); L "done" ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+let gzip ?(dict_pages = 3) ~size () =
+  let input = Kernel.Layout.heap_base in
+  Kernel.Image.build ~name:(Fmt.str "gzip-%dKB" (size / 1024))
+    ~bss_size:((dict_pages + 1) * 4096)
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (ESI, input));
+        (* input cursor *)
+        I (Mov_ri (EBP, size));
+        (* bytes remaining *)
+        L "rd_loop";
+        I (Cmp_ri (EBP, 0));
+        I (Jz (Lbl "done"));
+        (* read the next block from the "disk" *)
+        I (Mov_ri (EAX, 3));
+        I (Mov_ri (EBX, 0));
+        I (Mov_rr (ECX, ESI));
+        I (Mov_rr (EDX, EBP));
+        I (Int 0x80);
+        I (Cmp_ri (EAX, 0));
+        I (Jz (Lbl "done"));
+        I (Mov_rr (EDI, EAX));
+        (* chunk length *)
+        (* refresh the compression dictionary (working set) *)
+        I (Mov_ri (ECX, 0));
+        L "dict";
+        I (Cmp_ri (ECX, dict_pages * 4096));
+        I (Jge (Lbl "dict_end"));
+        I (Mov_ri (EBX, lbl "bss"));
+        I (Add (EBX, ECX));
+        I (Storeb (EBX, 0, ECX));
+        I (Add_ri (ECX, 4096));
+        I (Jmp (Lbl "dict"));
+        L "dict_end";
+        (* compress the chunk: rolling hash over every byte *)
+        I (Mov_ri (EDX, 0));
+        I (Mov_ri (ECX, 0));
+        L "cl";
+        I (Cmp (ECX, EDI));
+        I (Jge (Lbl "cl_end"));
+        I (Mov_rr (EBX, ESI));
+        I (Add (EBX, ECX));
+        I (Loadb (EAX, EBX, 0));
+        I (Shl (EDX, 1));
+        I (Add (EDX, EAX));
+        I (Add_ri (ECX, 1));
+        I (Jmp (Lbl "cl"));
+        L "cl_end";
+        I (Add (ESI, EDI));
+        I (Sub (EBP, EDI));
+        I (Jmp (Lbl "rd_loop"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* --- nbench: computation over a small working set ----------------------- *)
+
+let nbench ~iters () =
+  Kernel.Image.build ~name:"nbench" ~bss_size:4096
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EDI, iters));
+        L "outer";
+        I (Cmp_ri (EDI, 0));
+        I (Jz (Lbl "done"));
+        (* bitfield/arithmetic pass over one page of words *)
+        I (Mov_ri (ECX, 0));
+        L "inner";
+        I (Cmp_ri (ECX, 1024));
+        I (Jge (Lbl "inner_end"));
+        I (Mov_rr (ESI, ECX));
+        I (Shl (ESI, 2));
+        I (Mov_rr (EAX, ESI));
+        I (Mov_rr (EBX, ECX));
+        I (Mul (EBX, EAX));
+        I (Xor (EBX, EAX));
+        I (Shr (EBX, 3));
+        I (Add (EBX, ECX));
+        I (Add_ri (ECX, 1));
+        I (Jmp (Lbl "inner"));
+        L "inner_end";
+        (* one word of memory traffic per outer pass *)
+        I (Mov_ri (ESI, lbl "bss"));
+        I (Store (ESI, 0, EBX));
+        I (Add_ri (EDI, -1));
+        I (Jmp (Lbl "outer"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* nbench-style kernels: real algorithms over small working sets. The
+   paper quotes the suite's slowest test, so several kernels matter. *)
+
+(* Insertion sort over [n] words, [rounds] times (numeric sort). *)
+let numeric_sort ?(n = 128) ~rounds () =
+  Kernel.Image.build ~name:"nb-numsort" ~bss_size:8192
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EBP, rounds));
+        L "round";
+        I (Cmp_ri (EBP, 0));
+        I (Jz (Lbl "done"));
+        (* fill descending: a[i] = n - i *)
+        I (Mov_ri (EBX, lbl "bss"));
+        I (Mov_ri (ECX, 0));
+        L "fill";
+        I (Cmp_ri (ECX, n));
+        I (Jge (Lbl "fill_end"));
+        I (Mov_ri (EAX, n));
+        I (Sub (EAX, ECX));
+        I (Mov_rr (ESI, ECX));
+        I (Shl (ESI, 2));
+        I (Add (ESI, EBX));
+        I (Store (ESI, 0, EAX));
+        I (Add_ri (ECX, 1));
+        I (Jmp (Lbl "fill"));
+        L "fill_end";
+        (* insertion sort *)
+        I (Mov_ri (ECX, 1));
+        L "outer";
+        I (Cmp_ri (ECX, n));
+        I (Jge (Lbl "sorted"));
+        I (Mov_rr (ESI, ECX));
+        I (Shl (ESI, 2));
+        I (Add (ESI, EBX));
+        I (Load (EDI, ESI, 0));
+        (* key *)
+        I (Mov_rr (EDX, ECX));
+        I (Add_ri (EDX, -1));
+        L "inner";
+        I (Cmp_ri (EDX, 0));
+        I (Jl (Lbl "place"));
+        I (Mov_rr (ESI, EDX));
+        I (Shl (ESI, 2));
+        I (Add (ESI, EBX));
+        I (Load (EAX, ESI, 0));
+        I (Cmp (EAX, EDI));
+        I (Jl (Lbl "place"));
+        I (Store (ESI, 4, EAX));
+        I (Add_ri (EDX, -1));
+        I (Jmp (Lbl "inner"));
+        L "place";
+        I (Mov_rr (ESI, EDX));
+        I (Shl (ESI, 2));
+        I (Add (ESI, EBX));
+        I (Store (ESI, 4, EDI));
+        I (Add_ri (ECX, 1));
+        I (Jmp (Lbl "outer"));
+        L "sorted";
+        I (Add_ri (EBP, -1));
+        I (Jmp (Lbl "round"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* Bubble passes over a byte array (string sort flavor). *)
+let string_sort ?(n = 768) ~rounds () =
+  Kernel.Image.build ~name:"nb-strsort" ~bss_size:8192
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EBP, rounds));
+        L "round";
+        I (Cmp_ri (EBP, 0));
+        I (Jz (Lbl "done"));
+        (* seed bytes via LCG *)
+        I (Mov_ri (EBX, lbl "bss"));
+        I (Mov_ri (ECX, 0));
+        I (Mov_ri (EDX, 7));
+        L "seed";
+        I (Cmp_ri (ECX, n));
+        I (Jge (Lbl "seed_end"));
+        I (Mov_ri (EAX, 75));
+        I (Mul (EDX, EAX));
+        I (Add_ri (EDX, 74));
+        I (Mov_rr (ESI, EBX));
+        I (Add (ESI, ECX));
+        I (Storeb (ESI, 0, EDX));
+        I (Add_ri (ECX, 1));
+        I (Jmp (Lbl "seed"));
+        L "seed_end";
+        (* one bubble pass *)
+        I (Mov_ri (ECX, 0));
+        L "pass";
+        I (Cmp_ri (ECX, n - 1));
+        I (Jge (Lbl "pass_end"));
+        I (Mov_rr (ESI, EBX));
+        I (Add (ESI, ECX));
+        I (Loadb (EAX, ESI, 0));
+        I (Loadb (EDX, ESI, 1));
+        I (Cmp (EDX, EAX));
+        I (Jge (Lbl "noswap"));
+        I (Storeb (ESI, 0, EDX));
+        I (Storeb (ESI, 1, EAX));
+        L "noswap";
+        I (Add_ri (ECX, 1));
+        I (Jmp (Lbl "pass"));
+        L "pass_end";
+        I (Add_ri (EBP, -1));
+        I (Jmp (Lbl "round"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* Fixed-point multiply-accumulate over a coefficient table (fourier
+   flavor). *)
+let fourier ?(n = 256) ~rounds () =
+  Kernel.Image.build ~name:"nb-fourier" ~bss_size:4096
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EBP, rounds));
+        I (Mov_ri (EBX, lbl "bss"));
+        L "round";
+        I (Cmp_ri (EBP, 0));
+        I (Jz (Lbl "done"));
+        I (Mov_ri (ECX, 0));
+        I (Mov_ri (EDI, 0));
+        (* accumulator *)
+        L "mac";
+        I (Cmp_ri (ECX, n));
+        I (Jge (Lbl "mac_end"));
+        I (Mov_rr (EAX, ECX));
+        I (Mov_rr (EDX, ECX));
+        I (Add_ri (EDX, 3));
+        I (Mul (EAX, EDX));
+        I (Shr (EAX, 8));
+        I (Add (EDI, EAX));
+        I (Add_ri (ECX, 1));
+        I (Jmp (Lbl "mac"));
+        L "mac_end";
+        I (Store (EBX, 0, EDI));
+        I (Add_ri (EBP, -1));
+        I (Jmp (Lbl "round"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+let nbench_suite ~scale =
+  [
+    ("numeric sort", numeric_sort ~rounds:(2 * scale) ());
+    ("string sort", string_sort ~rounds:(4 * scale) ());
+    ("bitfield", nbench ~iters:(8 * scale) ());
+    ("fourier", fourier ~rounds:(12 * scale) ());
+  ]
+
+(* --- Unixbench pieces ---------------------------------------------------- *)
+
+let syscall_bench ~iters () =
+  Kernel.Image.build ~name:"ub-syscall" ~bss_size:0
+    ~code:(fun ~lbl:_ ->
+      [
+        L "main";
+        I (Mov_ri (EDI, iters));
+        L "loop";
+        I (Cmp_ri (EDI, 0));
+        I (Jz (Lbl "done"));
+        I (Mov_ri (EAX, 20));
+        I (Int 0x80);
+        I (Add_ri (EDI, -1));
+        I (Jmp (Lbl "loop"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+let pipe_throughput ~iters () =
+  Kernel.Image.build ~name:"ub-pipe" ~bss_size:8192
+    ~data:(fun ~lbl:_ -> [ L "fds"; Words [ 0; 0 ] ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EAX, 42));
+        I (Mov_ri (EBX, lbl "fds"));
+        I (Int 0x80);
+        I (Mov_ri (ESI, lbl "fds"));
+        I (Load (EBP, ESI, 0));
+        (* read fd *)
+        I (Load (EDI, ESI, 4));
+        (* write fd; loop counter in a bss word *)
+        I (Mov_ri (ESI, lbl "bss"));
+        I (Mov_ri (EAX, iters));
+        I (Store (ESI, 4096, EAX));
+        L "loop";
+        (* write(wfd, buf, 512) *)
+        I (Mov_ri (EAX, 4));
+        I (Mov_rr (EBX, EDI));
+        I (Mov_ri (ECX, lbl "bss"));
+        I (Mov_ri (EDX, 512));
+        I (Int 0x80);
+        (* read(rfd, buf, 512) *)
+        I (Mov_ri (EAX, 3));
+        I (Mov_rr (EBX, EBP));
+        I (Mov_ri (ECX, lbl "bss"));
+        I (Mov_ri (EDX, 512));
+        I (Int 0x80);
+        I (Mov_ri (ESI, lbl "bss"));
+        I (Load (EAX, ESI, 4096));
+        I (Add_ri (EAX, -1));
+        I (Store (ESI, 4096, EAX));
+        I (Cmp_ri (EAX, 0));
+        I (Jnz (Lbl "loop"));
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* Pipe-based context switching: two processes ping-pong a token. Each
+   iteration walks a multi-page working set and executes multi-page code, so
+   the overhead (and Fig. 9's fractional splitting) is spread over many
+   pages, as it is for real binaries with their libraries. *)
+
+let ctxsw_ws = 4
+let ctxsw_stride = 32
+
+let ctxsw_ping ~iters () =
+  Kernel.Image.build ~name:"ctxsw-ping" ~bss_size:((2 * ctxsw_ws * 4096) + 8192)
+    ~data:(fun ~lbl:_ -> [ L "tok"; Bytes "PING" ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EDI, iters));
+        L "loop";
+        I (Cmp_ri (EDI, 0));
+        I (Jz (Lbl "done"));
+        I (Call (Lbl "hotcode"));
+      ]
+      @ Guest.ws_walk ~tag:"ping" ~bss:(lbl "bss") ~page_offset:0 ~pages:ctxsw_ws
+          ~stride:ctxsw_stride
+      @ Guest.sys_write_imm ~buf:(lbl "tok") ~len:4 ()
+      @ Guest.sys_read_imm ~buf:(lbl "bss" + (2 * ctxsw_ws * 4096)) ~len:4
+      @ [ I (Add_ri (EDI, -1)); I (Jmp (Lbl "loop")); L "done" ]
+      @ Guest.sys_exit 0
+      @ Guest.code_filler ~tag:"hotcode" ~pages:1)
+    ~entry:"main" ()
+
+let ctxsw_pong () =
+  Kernel.Image.build ~name:"ctxsw-pong" ~bss_size:((2 * ctxsw_ws * 4096) + 8192)
+    ~code:(fun ~lbl ->
+      [ L "main"; L "loop" ]
+      @ Guest.sys_read_imm ~buf:(lbl "bss" + (2 * ctxsw_ws * 4096) + 4096) ~len:4
+      @ [ I (Cmp_ri (EAX, 0)); I (Jz (Lbl "done")); I (Call (Lbl "hotcode")) ]
+      @ Guest.ws_walk ~tag:"pong" ~bss:(lbl "bss") ~page_offset:ctxsw_ws ~pages:ctxsw_ws
+          ~stride:ctxsw_stride
+      @ Guest.sys_write_imm ~buf:(lbl "bss" + (2 * ctxsw_ws * 4096) + 4096) ~len:4 ()
+      @ [ I (Jmp (Lbl "loop")); L "done" ]
+      @ Guest.sys_exit 0
+      @ Guest.code_filler ~tag:"hotcode" ~pages:1)
+    ~entry:"main" ()
+
+(* Process creation: fork + immediate child exit + waitpid. *)
+
+let spawn_bench ~iters () =
+  Kernel.Image.build ~name:"ub-spawn" ~bss_size:0
+    ~code:(fun ~lbl:_ ->
+      [
+        L "main";
+        I (Mov_ri (EDI, iters));
+        L "loop";
+        I (Cmp_ri (EDI, 0));
+        I (Jz (Lbl "done"));
+        I (Mov_ri (EAX, 2));
+        I (Int 0x80);
+        I (Cmp_ri (EAX, 0));
+        I (Jnz (Lbl "parent"));
+        (* child *)
+        I (Mov_ri (EAX, 1));
+        I (Mov_ri (EBX, 0));
+        I (Int 0x80);
+        L "parent";
+        I (Mov_rr (EBX, EAX));
+        I (Mov_ri (EAX, 7));
+        I (Int 0x80);
+        I (Add_ri (EDI, -1));
+        I (Jmp (Lbl "loop"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* Filesystem-style buffer copies between two heap regions. *)
+
+let fscopy ~passes ~size () =
+  let src = Kernel.Layout.heap_base in
+  let dst = Kernel.Layout.heap_base + 0x400000 in
+  Kernel.Image.build ~name:"ub-fscopy" ~bss_size:0
+    ~code:(fun ~lbl:_ ->
+      [
+        L "main";
+        I (Mov_ri (EBP, passes));
+        L "pass";
+        I (Cmp_ri (EBP, 0));
+        I (Jz (Lbl "done"));
+        I (Mov_ri (ECX, 0));
+        L "copy";
+        I (Cmp_ri (ECX, size));
+        I (Jge (Lbl "copy_end"));
+        I (Mov_ri (ESI, src));
+        I (Add (ESI, ECX));
+        I (Load (EAX, ESI, 0));
+        I (Mov_ri (EDI, dst));
+        I (Add (EDI, ECX));
+        I (Store (EDI, 0, EAX));
+        I (Add_ri (ECX, 4));
+        I (Jmp (Lbl "copy"));
+        L "copy_end";
+        I (Add_ri (EBP, -1));
+        I (Jmp (Lbl "pass"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* A sparse image: a large data segment of which the program touches only a
+   prefix — distinguishes eager page duplication (the paper's prototype)
+   from demand splitting (its proposed optimization). *)
+let sparse ?(data_pages = 32) ?(touch_pages = 2) () =
+  Kernel.Image.build ~name:"sparse" ~bss_size:0
+    ~data:(fun ~lbl:_ -> [ L "blob"; Space (data_pages * 4096) ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (ECX, 0));
+        L "touch";
+        I (Cmp_ri (ECX, touch_pages * 4096));
+        I (Jge (Lbl "done"));
+        I (Mov_ri (EBX, lbl "blob"));
+        I (Add (EBX, ECX));
+        I (Storeb (EBX, 0, ECX));
+        I (Add_ri (ECX, 4096));
+        I (Jmp (Lbl "touch"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()

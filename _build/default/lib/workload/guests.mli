@@ -1,0 +1,58 @@
+(** Guest benchmark programs mirroring the paper's §6.2 workloads.
+
+    What matters is the interaction {e shape}: the Apache pair context-
+    switches per request and streams the response through memory; gzip
+    blocks on disk-style I/O; nbench is tight compute over a small working
+    set; the Unixbench pieces isolate syscall, pipe, context-switch, fork
+    and copy costs. *)
+
+val apache_server : ?ws_pages:int -> size:int -> unit -> Kernel.Image.t
+(** Serve [size]-byte responses; each request walks [ws_pages] pages of
+    server state (config/logging/connection structures). *)
+
+val apache_client : size:int -> requests:int -> unit -> Kernel.Image.t
+(** ApacheBench-style client: request, drain [size] bytes, repeat. *)
+
+val gzip_disk : size:int -> block:int -> unit -> Kernel.Image.t
+(** The "disk": streams [size] input bytes in [block]-byte writes. *)
+
+val gzip : ?dict_pages:int -> size:int -> unit -> Kernel.Image.t
+(** Streaming compressor: read a block, refresh a [dict_pages]-page
+    dictionary, rolling-hash every byte; repeat until EOF. *)
+
+val nbench : iters:int -> unit -> Kernel.Image.t
+(** Arithmetic/bitfield passes over a one-page working set. *)
+
+val numeric_sort : ?n:int -> rounds:int -> unit -> Kernel.Image.t
+(** Insertion sort over a word array (nbench "numeric sort"). *)
+
+val string_sort : ?n:int -> rounds:int -> unit -> Kernel.Image.t
+(** Seed-and-bubble passes over a byte array (nbench "string sort"). *)
+
+val fourier : ?n:int -> rounds:int -> unit -> Kernel.Image.t
+(** Fixed-point multiply-accumulate loops (nbench "fourier"). *)
+
+val nbench_suite : scale:int -> (string * Kernel.Image.t) list
+(** The four compute kernels, workload scaled by [scale]. *)
+
+val syscall_bench : iters:int -> unit -> Kernel.Image.t
+val pipe_throughput : iters:int -> unit -> Kernel.Image.t
+(** Self-pipe write/read of 512-byte blocks (no context switches). *)
+
+val ctxsw_ws : int
+val ctxsw_stride : int
+
+val ctxsw_ping : iters:int -> unit -> Kernel.Image.t
+(** Pipe-based context switching, initiator side: walk the working set,
+    send the token, wait for the echo. *)
+
+val ctxsw_pong : unit -> Kernel.Image.t
+val spawn_bench : iters:int -> unit -> Kernel.Image.t
+(** fork + child exit + waitpid, [iters] times. *)
+
+val fscopy : passes:int -> size:int -> unit -> Kernel.Image.t
+(** Word-wise copies between two heap buffers (filesystem-ish traffic). *)
+
+val sparse : ?data_pages:int -> ?touch_pages:int -> unit -> Kernel.Image.t
+(** Large data segment, tiny touched prefix — separates eager page
+    duplication from demand splitting in the memory-overhead ablation. *)

@@ -1,0 +1,64 @@
+type result = {
+  label : string;
+  defense : string;
+  cycles : int;
+  insns : int;
+  traps : int;
+  split_faults : int;
+  single_steps : int;
+  ctx_switches : int;
+  peak_frames : int;
+  itlb_misses : int;
+  dtlb_misses : int;
+}
+
+exception Did_not_finish of string
+
+let snapshot ~label ~defense (k : Kernel.Os.t) =
+  let c = Kernel.Os.cost k in
+  let mmu = Kernel.Os.mmu k in
+  {
+    label;
+    defense;
+    cycles = c.cycles;
+    insns = c.insns;
+    traps = c.traps;
+    split_faults = c.split_faults;
+    single_steps = c.single_steps;
+    ctx_switches = c.ctx_switches;
+    peak_frames = Kernel.Frame_alloc.peak_in_use (Kernel.Os.alloc k);
+    itlb_misses = (Hw.Tlb.stats (Hw.Mmu.itlb mmu)).misses;
+    dtlb_misses = (Hw.Tlb.stats (Hw.Mmu.dtlb mmu)).misses;
+  }
+
+let finish ~label ~defense k ~fuel =
+  match Kernel.Os.run ~fuel k with
+  | Kernel.Os.All_exited -> snapshot ~label ~defense k
+  | Kernel.Os.All_blocked -> raise (Did_not_finish (label ^ ": deadlocked"))
+  | Kernel.Os.Fuel_exhausted -> raise (Did_not_finish (label ^ ": fuel exhausted"))
+
+let run_single ?(frames = 16384) ?(fuel = 100_000_000) ?(eager = false) ~defense image =
+  let protection = Defense.to_protection defense in
+  let k = Kernel.Os.create ~frames ~tlb_fill:(Defense.tlb_fill defense) ~protection () in
+  let _p = Kernel.Os.spawn ~eager k image in
+  finish ~label:image.Kernel.Image.name ~defense:(Defense.name defense) k ~fuel
+
+let run_pair ?(frames = 16384) ?(fuel = 100_000_000) ?capacity ~defense server client =
+  let protection = Defense.to_protection defense in
+  let k = Kernel.Os.create ~frames ~tlb_fill:(Defense.tlb_fill defense) ~protection () in
+  let s = Kernel.Os.spawn k server in
+  let c = Kernel.Os.spawn k client in
+  Kernel.Os.connect ?capacity k s c;
+  finish ~label:server.Kernel.Image.name ~defense:(Defense.name defense) k ~fuel
+
+(* Performance relative to the unprotected baseline: >1 never happens in
+   practice; 0.9 means "runs at 90% of full speed" as in the paper's
+   normalized plots. *)
+let normalized ~baseline result = float_of_int baseline.cycles /. float_of_int result.cycles
+
+let geomean values =
+  match values with
+  | [] -> invalid_arg "Harness.geomean: empty"
+  | _ ->
+    let logs = List.fold_left (fun acc v -> acc +. log v) 0.0 values in
+    exp (logs /. float_of_int (List.length values))

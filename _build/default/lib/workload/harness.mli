@@ -1,0 +1,43 @@
+(** Benchmark execution harness: run guest workloads to completion under a
+    defense and collect the cycle/event counters the figures are built
+    from. *)
+
+type result = {
+  label : string;
+  defense : string;
+  cycles : int;
+  insns : int;
+  traps : int;
+  split_faults : int;
+  single_steps : int;
+  ctx_switches : int;
+  peak_frames : int;
+  itlb_misses : int;
+  dtlb_misses : int;
+}
+
+exception Did_not_finish of string
+(** Raised when a workload deadlocks or exhausts its fuel. *)
+
+val run_single :
+  ?frames:int -> ?fuel:int -> ?eager:bool -> defense:Defense.t -> Kernel.Image.t -> result
+
+val run_pair :
+  ?frames:int ->
+  ?fuel:int ->
+  ?capacity:int ->
+  defense:Defense.t ->
+  Kernel.Image.t ->
+  Kernel.Image.t ->
+  result
+(** Spawn two images, cross-wire their consoles ([capacity] bounds the
+    pipes, forcing blocking I/O), run to completion. *)
+
+val normalized : baseline:result -> result -> float
+(** [baseline.cycles / result.cycles]: 0.9 = "runs at 90% of full speed",
+    the paper's normalized-performance metric. *)
+
+val geomean : float list -> float
+(** Geometric mean (Unixbench-style index). @raise Invalid_argument on []. *)
+
+val snapshot : label:string -> defense:string -> Kernel.Os.t -> result

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Attack Defense Fmt List String

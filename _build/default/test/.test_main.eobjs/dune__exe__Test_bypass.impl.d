@@ -1,0 +1,1 @@
+test/test_bypass.ml: Alcotest Attack Defense List

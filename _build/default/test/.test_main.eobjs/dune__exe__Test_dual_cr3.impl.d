@@ -1,0 +1,1 @@
+test/test_dual_cr3.ml: Alcotest Attack Defense Fmt Isa Kernel List Split_memory Workload

@@ -1,0 +1,1 @@
+test/test_dynlib.ml: Alcotest Defense Guest Isa Kernel List

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Attack Defense Guest Isa Kernel List Split_memory String

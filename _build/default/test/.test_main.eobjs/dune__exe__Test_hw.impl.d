@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Char Hashtbl Hw Isa

@@ -1,0 +1,1 @@
+test/test_hw_pagetable.ml: Alcotest Char Hw Kernel List String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Astring_contains Decode Encode Insn Isa List Reg String

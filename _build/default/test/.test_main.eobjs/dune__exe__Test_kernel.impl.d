@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Char Guest Isa Kernel List Split_memory String

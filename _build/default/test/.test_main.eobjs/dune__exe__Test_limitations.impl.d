@@ -1,0 +1,1 @@
+test/test_limitations.ml: Alcotest Attack Defense Isa Kernel List String

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Buffer Char Gen Guest Hashtbl Hw Isa Kernel List QCheck QCheck_alcotest Split_memory String Test Workload

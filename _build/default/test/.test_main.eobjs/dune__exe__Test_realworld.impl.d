@@ -1,0 +1,1 @@
+test/test_realworld.ml: Alcotest Attack Defense Fmt Kernel List String

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Attack Defense Guest Isa Kernel Split_memory

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Attack Isa Kernel Split_memory String

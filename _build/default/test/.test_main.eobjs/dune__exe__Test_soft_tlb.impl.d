@@ -1,0 +1,1 @@
+test/test_soft_tlb.ml: Alcotest Attack Defense Fmt Kernel List Split_memory Workload

@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest Attack Guest Hw Isa Kernel List Option Split_memory String

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Attack Char Defense Isa Kernel List Random Split_memory String Workload

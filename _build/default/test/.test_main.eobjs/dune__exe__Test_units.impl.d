@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Astring_contains Float Fmt Guest Hw Isa Kernel List Option Report String

@@ -1,0 +1,99 @@
+(* The §3.3.1 hardware variant: dual pagetable registers. Same guarantees,
+   essentially free at runtime. *)
+
+let test_attacks_foiled () =
+  List.iter
+    (fun t ->
+      let o = Attack.Wilander.run ~defense:Defense.split_dual_cr3 t Attack.Wilander.Bss in
+      Alcotest.(check bool)
+        (Attack.Wilander.technique_name t ^ " foiled on dual-cr3")
+        true (Attack.Runner.is_foiled o))
+    Attack.Wilander.techniques;
+  List.iter
+    (fun id ->
+      let o = Attack.Realworld.run ~defense:Defense.split_dual_cr3 id in
+      Alcotest.(check bool)
+        ((Attack.Realworld.info id).package ^ " foiled on dual-cr3")
+        true (Attack.Runner.is_foiled o))
+    Attack.Realworld.all
+
+let test_benign_runs () =
+  List.iter
+    (fun t ->
+      let outcome, _ = Attack.Wilander.benign_run ~defense:Defense.split_dual_cr3 t in
+      Alcotest.(check bool)
+        (Attack.Wilander.technique_name t ^ " benign ok")
+        true
+        (outcome = Attack.Runner.Completed 0))
+    Attack.Wilander.techniques
+
+let test_observe_mode () =
+  let defense =
+    Defense.split_with ~response:(Split_memory.Response.Observe { sebek = false })
+      ~mechanism:Split_memory.Dual_cr3 ()
+  in
+  let o, _ = Attack.Realworld.run_wuftpd ~defense () in
+  Alcotest.(check bool) "attack proceeds under observation" true
+    (match o with Attack.Runner.Shell_spawned { detected_first = true } -> true | _ -> false)
+
+let test_no_runtime_overhead_machinery () =
+  let r = Workload.Figures.run_ctxsw ~defense:Defense.split_dual_cr3 ~iters:40 in
+  Alcotest.(check int) "no split faults" 0 r.split_faults;
+  Alcotest.(check int) "no single steps" 0 r.single_steps
+
+let test_near_free () =
+  let base = Workload.Figures.run_ctxsw ~defense:Defense.unprotected ~iters:80 in
+  let prot = Workload.Figures.run_ctxsw ~defense:Defense.split_dual_cr3 ~iters:80 in
+  let ratio = Workload.Harness.normalized ~baseline:base prot in
+  Alcotest.(check bool) (Fmt.str "ratio %.3f >= 0.98" ratio) true (ratio >= 0.98)
+
+let test_fork_cow_still_works () =
+  (* exercise COW interactions under the dual-walk views *)
+  let k = Kernel.Os.create ~protection:(Defense.to_protection Defense.split_dual_cr3) () in
+  let image =
+    Kernel.Image.build ~name:"cowdual"
+      ~data:(fun ~lbl:_ -> [ Isa.Asm.L "cell"; Isa.Asm.Word32 0 ])
+      ~code:(fun ~lbl ->
+        Isa.Asm.
+          [
+            L "main";
+            I (Mov_ri (EBX, lbl "cell"));
+            I (Mov_ri (EAX, 5));
+            I (Store (EBX, 0, EAX));
+            I (Mov_ri (EAX, 2));
+            I (Int 0x80);
+            I (Cmp_ri (EAX, 0));
+            I (Jz (Lbl "child"));
+            I (Mov_rr (EBX, EAX));
+            I (Mov_ri (EAX, 7));
+            I (Int 0x80);
+            I (Mov_ri (EBX, lbl "cell"));
+            I (Load (ECX, EBX, 0));
+            I (Mov_rr (EBX, ECX));
+            I (Mov_ri (EAX, 1));
+            I (Int 0x80);
+            L "child";
+            I (Mov_ri (EBX, lbl "cell"));
+            I (Mov_ri (EAX, 9));
+            I (Store (EBX, 0, EAX));
+            I (Mov_ri (EBX, 0));
+            I (Mov_ri (EAX, 1));
+            I (Int 0x80);
+          ])
+      ~entry:"main" ()
+  in
+  let parent = Kernel.Os.spawn k image in
+  Alcotest.(check bool) "finished" true (Kernel.Os.run k = Kernel.Os.All_exited);
+  match parent.state with
+  | Kernel.Proc.Zombie (Kernel.Proc.Exited 5) -> ()
+  | st -> Alcotest.failf "parent sees own value: %a" Kernel.Proc.pp_state st
+
+let suite =
+  [
+    Alcotest.test_case "attacks foiled on dual-cr3" `Quick test_attacks_foiled;
+    Alcotest.test_case "benign programs unaffected" `Quick test_benign_runs;
+    Alcotest.test_case "observe mode works" `Quick test_observe_mode;
+    Alcotest.test_case "no trap machinery used" `Quick test_no_runtime_overhead_machinery;
+    Alcotest.test_case "essentially free" `Quick test_near_free;
+    Alcotest.test_case "fork + COW under dual views" `Quick test_fork_cow_still_works;
+  ]

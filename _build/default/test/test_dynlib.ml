@@ -1,0 +1,134 @@
+(* Runtime dynamic-library loading (paper §4.3): valid plugins load, run,
+   and get split like everything else; tampered plugins are rejected by
+   signature validation before a single byte is mapped. *)
+
+open Isa.Asm
+
+(* A plugin: entry point writes "LIB!" and returns. Labels inside a
+   library resolve relative to its prelink base, which is only known at
+   registration; the call/pop trick finds the embedded string. *)
+let crypto_plugin =
+  [
+    L "entry";
+    I (Call (Lbl "next"));
+    L "next";
+    I (Pop ESI);
+    (* esi = address of "next"; msg sits pop+lea+3*mov_ri+int+ret = 30 bytes on *)
+    I (Lea (ECX, ESI, 30));
+    I (Mov_ri (EAX, 4));
+    I (Mov_ri (EBX, 1));
+    I (Mov_ri (EDX, 4));
+    I (Int 0x80);
+    I Ret;
+    L "msg";
+    Bytes "LIB!";
+  ]
+
+(* Victim: reads a library name, uselib()s it, calls its entry. *)
+let host_image () =
+  Kernel.Image.build ~name:"plugin-user"
+    ~data:(fun ~lbl:_ -> [ L "name"; Space 64 ])
+    ~code:(fun ~lbl ->
+      (L "main" :: Guest.sys_read_imm ~buf:(lbl "name") ~len:63)
+      @ [
+          I (Mov_ri (EAX, 137));
+          I (Mov_ri (EBX, lbl "name"));
+          I (Int 0x80);
+          I (Cmp_ri (EAX, 0));
+          I (Jl (Lbl "refused"));
+          I (Call_r EAX);
+        ]
+      @ Guest.sys_exit 0
+      @ (L "refused" :: Guest.sys_exit 44))
+    ~entry:"main" ()
+
+let offset_of_msg () =
+  (* pop(2) + lea(7) + 3 mov_ri(18) + int(2) + ret(1) *)
+  2 + 7 + 18 + 2 + 1
+
+let session defense =
+  let k = Kernel.Os.create ~protection:(Defense.to_protection defense) () in
+  let _base = Kernel.Os.register_library k "crypto" crypto_plugin in
+  let p = Kernel.Os.spawn k (host_image ()) in
+  (k, p)
+
+let test_offset_assumption () =
+  (* keep the call/pop displacement honest against the encoder *)
+  let a = Isa.Asm.assemble ~origin:0 crypto_plugin in
+  Alcotest.(check int) "msg offset from next"
+    (offset_of_msg ())
+    (Isa.Asm.label a "msg" - Isa.Asm.label a "next")
+
+let test_valid_plugin_runs () =
+  List.iter
+    (fun defense ->
+      let k, p = session defense in
+      ignore (Kernel.Os.feed_stdin k p "crypto\000");
+      ignore (Kernel.Os.run k);
+      Alcotest.(check string)
+        ("plugin output under " ^ Defense.name defense)
+        "LIB!" (Kernel.Os.read_stdout k p);
+      match p.state with
+      | Kernel.Proc.Zombie (Kernel.Proc.Exited 0) -> ()
+      | st -> Alcotest.failf "%a" Kernel.Proc.pp_state st)
+    [ Defense.unprotected; Defense.split_standalone; Defense.split_soft_tlb ]
+
+let test_tampered_plugin_rejected () =
+  let k, p = session Defense.split_standalone in
+  Kernel.Os.tamper_library k "crypto";
+  ignore (Kernel.Os.feed_stdin k p "crypto\000");
+  ignore (Kernel.Os.run k);
+  Alcotest.(check bool) "rejection logged" true
+    (Kernel.Event_log.find_first (Kernel.Os.log k) (function
+       | Kernel.Event_log.Library_rejected { name } -> name = "crypto"
+       | _ -> false)
+    <> None);
+  match p.state with
+  | Kernel.Proc.Zombie (Kernel.Proc.Exited 44) -> ()
+  | st -> Alcotest.failf "host must see the refusal: %a" Kernel.Proc.pp_state st
+
+let test_unknown_plugin () =
+  let k, p = session Defense.split_standalone in
+  ignore (Kernel.Os.feed_stdin k p "nonesuch\000");
+  ignore (Kernel.Os.run k);
+  match p.state with
+  | Kernel.Proc.Zombie (Kernel.Proc.Exited 44) -> ()
+  | st -> Alcotest.failf "ENOENT path: %a" Kernel.Proc.pp_state st
+
+(* Host variant that parks on a read after running the plugin, so the
+   mapped library page can be inspected while the process is alive. *)
+let parked_host_image () =
+  Kernel.Image.build ~name:"plugin-user-parked"
+    ~data:(fun ~lbl:_ -> [ L "name"; Space 64 ])
+    ~code:(fun ~lbl ->
+      (L "main" :: Guest.sys_read_imm ~buf:(lbl "name") ~len:63)
+      @ [
+          I (Mov_ri (EAX, 137));
+          I (Mov_ri (EBX, lbl "name"));
+          I (Int 0x80);
+          I (Call_r EAX);
+        ]
+      @ Guest.sys_read_imm ~buf:(lbl "name") ~len:8
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+let test_plugin_pages_are_split () =
+  let k = Kernel.Os.create ~protection:(Defense.to_protection Defense.split_standalone) () in
+  ignore (Kernel.Os.register_library k "crypto" crypto_plugin);
+  let p = Kernel.Os.spawn k (parked_host_image ()) in
+  ignore (Kernel.Os.feed_stdin k p "crypto\000");
+  ignore (Kernel.Os.run k);
+  Alcotest.(check string) "plugin ran" "LIB!" (Kernel.Os.read_stdout k p);
+  let split_lib_pages = ref 0 in
+  Kernel.Aspace.iter_ptes p.aspace (fun pte ->
+      if pte.kind = Kernel.Pte.Lib && Kernel.Pte.is_split pte then incr split_lib_pages);
+  Alcotest.(check bool) "library page split" true (!split_lib_pages > 0)
+
+let suite =
+  [
+    Alcotest.test_case "call/pop offset assumption" `Quick test_offset_assumption;
+    Alcotest.test_case "valid plugin loads and runs" `Quick test_valid_plugin_runs;
+    Alcotest.test_case "tampered plugin rejected" `Quick test_tampered_plugin_rejected;
+    Alcotest.test_case "unknown plugin ENOENT" `Quick test_unknown_plugin;
+    Alcotest.test_case "plugin pages split on demand" `Quick test_plugin_pages_are_split;
+  ]

@@ -1,0 +1,143 @@
+(* ISA: encoding/decoding roundtrips, assembler layout and label handling,
+   disassembly. *)
+
+open Isa
+
+let all_fixed_instrs =
+  let r1 = Reg.EAX and r2 = Reg.EBP in
+  [
+    Insn.Nop;
+    Insn.Hlt;
+    Insn.Mov_ri (r1, 0xDEADBEEF);
+    Insn.Mov_rr (r1, r2);
+    Insn.Load (r1, r2, -12);
+    Insn.Store (r2, 4096, r1);
+    Insn.Loadb (r1, r2, 0);
+    Insn.Storeb (r2, -1, r1);
+    Insn.Push r1;
+    Insn.Pop r2;
+    Insn.Lea (r1, r2, 123456);
+    Insn.Add (r1, r2);
+    Insn.Sub (r1, r2);
+    Insn.Add_ri (r1, -1);
+    Insn.Cmp (r1, r2);
+    Insn.Cmp_ri (r1, 7);
+    Insn.And_ (r1, r2);
+    Insn.Or_ (r1, r2);
+    Insn.Xor (r1, r2);
+    Insn.Mul (r1, r2);
+    Insn.Shl (r1, 31);
+    Insn.Shr (r1, 1);
+    Insn.Jmp (Rel 0);
+    Insn.Jz (Rel (-6));
+    Insn.Jnz (Rel 100);
+    Insn.Jl (Rel 5);
+    Insn.Jge (Rel (-5));
+    Insn.Jmp_r r2;
+    Insn.Call (Rel 1000);
+    Insn.Call_r r1;
+    Insn.Ret;
+    Insn.Int 0x80;
+  ]
+
+let test_roundtrip_fixed () =
+  List.iter
+    (fun insn ->
+      let bytes = Encode.to_string insn in
+      Alcotest.(check int)
+        (Insn.to_string insn ^ " size")
+        (Insn.size insn) (String.length bytes);
+      match Decode.of_string bytes 0 with
+      | Ok insn' ->
+        Alcotest.(check bool) (Insn.to_string insn ^ " roundtrip") true (insn = insn')
+      | Error _ -> Alcotest.failf "decode failed for %s" (Insn.to_string insn))
+    all_fixed_instrs
+
+let test_bad_opcode () =
+  (match Decode.of_string "\x00" 0 with
+  | Error (Decode.Bad_opcode 0) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "opcode 0x00 must be invalid");
+  match Decode.of_string "\xFF" 0 with
+  | Error (Decode.Bad_opcode 0xFF) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "opcode 0xFF must be invalid"
+
+let test_bad_register () =
+  (* Mov_rr with register field 9 *)
+  match Decode.of_string "\x02\x09\x00" 0 with
+  | Error (Decode.Bad_register 9) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "register 9 must be rejected"
+
+let test_reg_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Reg.name r) true (Reg.of_int (Reg.to_int r) = Some r))
+    Reg.all;
+  Alcotest.(check bool) "of_int 8" true (Reg.of_int 8 = None)
+
+let test_sign32 () =
+  Alcotest.(check int) "positive" 5 (Decode.sign32 5);
+  Alcotest.(check int) "negative" (-1) (Decode.sign32 0xFFFFFFFF);
+  Alcotest.(check int) "min" (-0x80000000) (Decode.sign32 0x80000000)
+
+open Isa.Asm
+
+let test_assembler_labels () =
+  let prog =
+    [
+      L "start";
+      I (Mov_ri (EAX, 1));
+      I (Jmp (Lbl "end"));
+      L "middle";
+      I Nop;
+      L "end";
+      I Ret;
+    ]
+  in
+  let a = assemble ~origin:0x1000 prog in
+  Alcotest.(check int) "start" 0x1000 (label a "start");
+  Alcotest.(check int) "middle" 0x100B (label a "middle");
+  Alcotest.(check int) "end" 0x100C (label a "end");
+  (* jmp at 0x1006, next = 0x100B, target 0x100C -> rel = 1 *)
+  match Decode.of_string a.code 6 with
+  | Ok (Insn.Jmp (Rel 1)) -> ()
+  | Ok i -> Alcotest.failf "unexpected %s" (Insn.to_string i)
+  | Error _ -> Alcotest.fail "decode"
+
+let test_assembler_duplicate () =
+  match assemble [ L "x"; L "x" ] with
+  | exception Duplicate_label "x" -> ()
+  | _ -> Alcotest.fail "expected Duplicate_label"
+
+let test_assembler_undefined () =
+  match assemble [ I (Jmp (Lbl "nowhere")) ] with
+  | exception Undefined_label "nowhere" -> ()
+  | _ -> Alcotest.fail "expected Undefined_label"
+
+let test_assembler_align_space () =
+  let a = assemble ~origin:0 [ I Nop; Align 16; L "aligned"; Space 3; Word32 0xAABBCCDD ] in
+  Alcotest.(check int) "aligned addr" 16 (label a "aligned");
+  Alcotest.(check int) "total size" 23 (String.length a.code);
+  Alcotest.(check char) "le byte 0" '\xDD' a.code.[19];
+  Alcotest.(check char) "le byte 3" '\xAA' a.code.[22]
+
+let test_disasm () =
+  let a = assemble [ I Nop; I (Mov_ri (EAX, 11)); I (Int 0x80) ] in
+  let text = Isa.Disasm.to_string ~base:0 a.code ~pos:0 ~len:(String.length a.code) in
+  Alcotest.(check bool) "mentions nop" true
+    (Astring_contains.contains text "nop");
+  Alcotest.(check bool) "mentions int" true
+    (Astring_contains.contains text "int 0x80")
+
+let suite =
+  [
+    Alcotest.test_case "every instruction roundtrips" `Quick test_roundtrip_fixed;
+    Alcotest.test_case "invalid opcodes rejected" `Quick test_bad_opcode;
+    Alcotest.test_case "invalid register rejected" `Quick test_bad_register;
+    Alcotest.test_case "register int roundtrip" `Quick test_reg_roundtrip;
+    Alcotest.test_case "sign32" `Quick test_sign32;
+    Alcotest.test_case "assembler resolves labels" `Quick test_assembler_labels;
+    Alcotest.test_case "duplicate label rejected" `Quick test_assembler_duplicate;
+    Alcotest.test_case "undefined label rejected" `Quick test_assembler_undefined;
+    Alcotest.test_case "align/space/word layout" `Quick test_assembler_align_space;
+    Alcotest.test_case "disassembler output" `Quick test_disasm;
+  ]

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "split_memory"
+    [
+      ("units", Test_units.suite);
+      ("isa", Test_isa.suite);
+      ("hw", Test_hw.suite);
+      ("kernel", Test_kernel.suite);
+      ("split", Test_split.suite);
+      ("soft-tlb", Test_soft_tlb.suite);
+      ("dual-cr3", Test_dual_cr3.suite);
+      ("recovery", Test_recovery.suite);
+      ("limitations", Test_limitations.suite);
+      ("smoke", Test_smoke.suite);
+      ("attack", Test_attack.suite);
+      ("realworld", Test_realworld.suite);
+      ("bypass", Test_bypass.suite);
+      ("workload", Test_workload.suite);
+      ("properties", Test_props.suite);
+      ("cache", Test_cache.suite);
+      ("stress", Test_stress.suite);
+      ("edges", Test_edges.suite);
+      ("hw-pagetable", Test_hw_pagetable.suite);
+      ("dynlib", Test_dynlib.suite);
+    ]

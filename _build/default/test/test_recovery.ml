@@ -1,0 +1,91 @@
+(* Recovery response mode (the paper's §4.5 proposed extension): a victim
+   that registered a recovery callback survives the attack gracefully. *)
+
+open Isa.Asm
+
+(* Vulnerable server that registers a recovery handler at startup. The
+   handler re-establishes a sane stack, reports, and exits cleanly. *)
+let resilient_victim () =
+  Kernel.Image.build ~name:"resilient"
+    ~data:(fun ~lbl:_ -> [ L "buf"; Space 64; L "msg"; Bytes "RECOVERED" ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        (* sigrecover(on_attack) *)
+        I (Mov_ri (EAX, 48));
+        I (Mov_ri (EBX, lbl "on_attack"));
+        I (Int 0x80);
+      ]
+      @ Guest.sys_read_imm ~buf:(lbl "buf") ~len:64
+      @ [ I (Mov_ri (ESI, lbl "buf")); I (Jmp_r ESI) ]
+      @ [
+          L "on_attack";
+          (* eax holds the faulting eip; rebuild a stack and shut down *)
+          I (Mov_ri (ESP, Kernel.Layout.initial_esp));
+        ]
+      @ Guest.sys_write_imm ~buf:(lbl "msg") ~len:9 ()
+      @ Guest.sys_exit 99)
+    ~entry:"main" ()
+
+(* Same bug, no handler registered. *)
+let fragile_victim () =
+  Kernel.Image.build ~name:"fragile"
+    ~data:(fun ~lbl:_ -> [ L "buf"; Space 64 ])
+    ~code:(fun ~lbl ->
+      (L "main" :: Guest.sys_read_imm ~buf:(lbl "buf") ~len:64)
+      @ [ I (Mov_ri (ESI, lbl "buf")); I (Jmp_r ESI) ])
+    ~entry:"main" ()
+
+let attack image =
+  let defense = Defense.split_with ~response:Split_memory.Response.Recovery () in
+  let s = Attack.Runner.start ~defense image in
+  ignore (Attack.Runner.step s);
+  let buf = Kernel.Image.label image "buf" in
+  Attack.Runner.send s (Attack.Shellcode.execve_bin_sh ~sled:4 ~base:buf ());
+  ignore (Attack.Runner.step s);
+  s
+
+let test_recovery_handler_runs () =
+  let s = attack (resilient_victim ()) in
+  Alcotest.(check bool) "no shell" false
+    (Kernel.Event_log.shell_spawned (Kernel.Os.log s.k));
+  Alcotest.(check bool) "recovery event logged" true
+    (Kernel.Event_log.find_first (Kernel.Os.log s.k) (function
+       | Kernel.Event_log.Recovery_invoked _ -> true
+       | _ -> false)
+    <> None);
+  Alcotest.(check string) "handler output" "RECOVERED" (Kernel.Os.read_stdout s.k s.victim);
+  match s.victim.state with
+  | Kernel.Proc.Zombie (Kernel.Proc.Exited 99) -> ()
+  | st -> Alcotest.failf "expected graceful exit 99, got %a" Kernel.Proc.pp_state st
+
+let test_recovery_without_handler_breaks () =
+  let s = attack (fragile_victim ()) in
+  Alcotest.(check bool) "no shell" false
+    (Kernel.Event_log.shell_spawned (Kernel.Os.log s.k));
+  match s.victim.state with
+  | Kernel.Proc.Zombie (Kernel.Proc.Killed Kernel.Proc.Sigill) -> ()
+  | st -> Alcotest.failf "expected SIGILL fallback, got %a" Kernel.Proc.pp_state st
+
+let test_recovery_on_soft_tlb () =
+  let image = resilient_victim () in
+  let defense =
+    Defense.split_with ~response:Split_memory.Response.Recovery
+      ~mechanism:Split_memory.Soft_tlb ()
+  in
+  let s = Attack.Runner.start ~defense image in
+  ignore (Attack.Runner.step s);
+  let buf = Kernel.Image.label image "buf" in
+  Attack.Runner.send s (Attack.Shellcode.execve_bin_sh ~sled:4 ~base:buf ());
+  ignore (Attack.Runner.step s);
+  match s.victim.state with
+  | Kernel.Proc.Zombie (Kernel.Proc.Exited 99) -> ()
+  | st -> Alcotest.failf "expected graceful exit 99, got %a" Kernel.Proc.pp_state st
+
+let suite =
+  [
+    Alcotest.test_case "registered handler recovers" `Quick test_recovery_handler_runs;
+    Alcotest.test_case "no handler falls back to break" `Quick
+      test_recovery_without_handler_breaks;
+    Alcotest.test_case "recovery works on soft-tlb too" `Quick test_recovery_on_soft_tlb;
+  ]

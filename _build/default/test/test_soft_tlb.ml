@@ -1,0 +1,77 @@
+(* The §4.7 port: split memory on a software-managed-TLB machine. The same
+   protection guarantees must hold, with noticeably lower overhead. *)
+
+let test_attacks_foiled () =
+  List.iter
+    (fun t ->
+      let o = Attack.Wilander.run ~defense:Defense.split_soft_tlb t Attack.Wilander.Stack in
+      Alcotest.(check bool)
+        (Attack.Wilander.technique_name t ^ " foiled on soft-tlb")
+        true (Attack.Runner.is_foiled o))
+    Attack.Wilander.techniques;
+  List.iter
+    (fun id ->
+      let o = Attack.Realworld.run ~defense:Defense.split_soft_tlb id in
+      Alcotest.(check bool)
+        ((Attack.Realworld.info id).package ^ " foiled on soft-tlb")
+        true (Attack.Runner.is_foiled o))
+    Attack.Realworld.all
+
+let test_attacks_succeed_unprotected_soft () =
+  let o =
+    Attack.Wilander.run ~defense:Defense.unprotected_soft_tlb Attack.Wilander.Ret_addr
+      Attack.Wilander.Heap
+  in
+  Alcotest.(check bool) "attack works on stock soft-tlb kernel" true
+    (Attack.Runner.is_attack_success o)
+
+let test_benign_runs () =
+  List.iter
+    (fun t ->
+      let outcome, _ = Attack.Wilander.benign_run ~defense:Defense.split_soft_tlb t in
+      Alcotest.(check bool)
+        (Attack.Wilander.technique_name t ^ " benign ok")
+        true
+        (outcome = Attack.Runner.Completed 0))
+    Attack.Wilander.techniques
+
+let test_observe_mode_works () =
+  let defense =
+    Defense.split_with ~response:(Split_memory.Response.Observe { sebek = true })
+      ~mechanism:Split_memory.Soft_tlb ()
+  in
+  let o, s = Attack.Realworld.run_wuftpd ~defense () in
+  Alcotest.(check bool) "observed shell" true
+    (match o with Attack.Runner.Shell_spawned { detected_first = true } -> true | _ -> false);
+  Alcotest.(check bool) "sebek traced" true
+    (Kernel.Event_log.find_first (Kernel.Os.log s.k) (function
+       | Kernel.Event_log.Syscall_traced _ -> true
+       | _ -> false)
+    <> None)
+
+let test_no_single_stepping () =
+  let r = Workload.Figures.run_ctxsw ~defense:Defense.split_soft_tlb ~iters:30 in
+  Alcotest.(check int) "no single-step ITLB loads" 0 r.single_steps;
+  Alcotest.(check int) "no x86 split faults" 0 r.split_faults
+
+let test_lower_overhead_than_desync () =
+  let desync, soft = Workload.Figures.soft_tlb_ablation ~iters:60 () in
+  Alcotest.(check bool)
+    (Fmt.str "soft (%.2f) beats desync (%.2f)" soft desync)
+    true (soft > desync +. 0.2)
+
+let test_workloads_run () =
+  let r = Workload.Figures.run_gzip ~defense:Defense.split_soft_tlb ~size:8192 in
+  Alcotest.(check bool) "gzip completes" true (r.cycles > 0)
+
+let suite =
+  [
+    Alcotest.test_case "attacks foiled on soft-tlb" `Quick test_attacks_foiled;
+    Alcotest.test_case "stock soft-tlb kernel is vulnerable" `Quick
+      test_attacks_succeed_unprotected_soft;
+    Alcotest.test_case "benign programs unaffected" `Quick test_benign_runs;
+    Alcotest.test_case "observe mode on soft-tlb" `Quick test_observe_mode_works;
+    Alcotest.test_case "no single-stepping needed" `Quick test_no_single_stepping;
+    Alcotest.test_case "lower overhead than tlb-desync" `Quick test_lower_overhead_than_desync;
+    Alcotest.test_case "workloads run" `Quick test_workloads_run;
+  ]

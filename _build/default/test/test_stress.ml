@@ -1,0 +1,167 @@
+(* Edge cases and stress: page-straddling instructions on split pages,
+   thrashing TLBs, tiny quanta, resource exhaustion, fuzzed code. *)
+
+open Isa.Asm
+
+(* An instruction that straddles two pages: Algorithm 1 must service fetch
+   faults for both halves (the faulting address differs from EIP for the
+   second page — the hardware reports the access type, so routing still
+   works). *)
+let test_page_straddling_insn () =
+  (* Lay out code so a 6-byte Mov_ri begins 3 bytes before a page end. *)
+  let pad = 4096 - 16 - 3 in
+  let image =
+    Kernel.Image.build ~name:"straddle"
+      ~code:(fun ~lbl:_ ->
+        [ L "main"; I (Jmp (Lbl "edge")); Space pad; L "edge"; I (Mov_ri (EBX, 0x2A)) ]
+        @ [ I (Mov_ri (EAX, 1)); I (Int 0x80) ])
+      ~entry:"main" ()
+  in
+  List.iter
+    (fun defense ->
+      let s = Attack.Runner.start ~defense image in
+      ignore (Attack.Runner.step s);
+      match s.victim.state with
+      | Kernel.Proc.Zombie (Kernel.Proc.Exited 0x2A) -> ()
+      | st ->
+        Alcotest.failf "straddle under %s: %a" (Defense.name defense) Kernel.Proc.pp_state st)
+    [ Defense.unprotected; Defense.split_standalone; Defense.split_soft_tlb ]
+
+(* Word access straddling two (split) pages must read what was written. *)
+let test_unaligned_cross_page_word () =
+  let addr = Kernel.Layout.heap_base + 4094 in
+  let image =
+    Kernel.Image.build ~name:"unaligned"
+      ~code:(fun ~lbl:_ ->
+        [
+          L "main";
+          I (Mov_ri (EBX, addr));
+          I (Mov_ri (EAX, 0x11223344));
+          I (Store (EBX, 0, EAX));
+          I (Load (ECX, EBX, 0));
+          I (Cmp (EAX, ECX));
+          I (Jnz (Lbl "bad"));
+          I (Mov_ri (EBX, 0));
+          I (Mov_ri (EAX, 1));
+          I (Int 0x80);
+          L "bad";
+          I (Mov_ri (EBX, 1));
+          I (Mov_ri (EAX, 1));
+          I (Int 0x80);
+        ])
+      ~entry:"main" ()
+  in
+  List.iter
+    (fun defense ->
+      let s = Attack.Runner.start ~defense image in
+      ignore (Attack.Runner.step s);
+      match s.victim.state with
+      | Kernel.Proc.Zombie (Kernel.Proc.Exited 0) -> ()
+      | st -> Alcotest.failf "under %s: %a" (Defense.name defense) Kernel.Proc.pp_state st)
+    [ Defense.unprotected; Defense.split_standalone; Defense.split_soft_tlb ]
+
+(* A 1-entry TLB forces constant refill; split memory must still be fully
+   transparent to correct programs. *)
+let test_tiny_tlb () =
+  let image =
+    Kernel.Image.build ~name:"thrash"
+      ~code:(fun ~lbl:_ ->
+        [
+          L "main";
+          I (Mov_ri (ECX, 0));
+          L "loop";
+          I (Cmp_ri (ECX, 20));
+          I (Jge (Lbl "done"));
+          I (Mov_ri (EBX, Kernel.Layout.heap_base));
+          I (Mov_rr (ESI, ECX));
+          I (Shl (ESI, 12));
+          I (Add (EBX, ESI));
+          I (Storeb (EBX, 0, ECX));
+          I (Loadb (EDX, EBX, 0));
+          I (Add_ri (ECX, 1));
+          I (Jmp (Lbl "loop"));
+          L "done";
+          I (Mov_ri (EBX, 0));
+          I (Mov_ri (EAX, 1));
+          I (Int 0x80);
+        ])
+      ~entry:"main" ()
+  in
+  let k =
+    Kernel.Os.create ~itlb_capacity:1 ~dtlb_capacity:1
+      ~protection:(Split_memory.protection ()) ()
+  in
+  let p = Kernel.Os.spawn k image in
+  Alcotest.(check bool) "finishes" true (Kernel.Os.run k = Kernel.Os.All_exited);
+  match p.state with
+  | Kernel.Proc.Zombie (Kernel.Proc.Exited 0) -> ()
+  | st -> Alcotest.failf "tiny tlb: %a" Kernel.Proc.pp_state st
+
+(* Quantum of 1 instruction: maximal preemption between every step. *)
+let test_quantum_one () =
+  let k = Kernel.Os.create ~quantum:1 ~protection:(Split_memory.protection ()) () in
+  let ping = Kernel.Os.spawn k (Workload.Guests.ctxsw_ping ~iters:5 ()) in
+  let pong = Kernel.Os.spawn k (Workload.Guests.ctxsw_pong ()) in
+  Kernel.Os.connect k ping pong;
+  Alcotest.(check bool) "completes" true (Kernel.Os.run k = Kernel.Os.All_exited)
+
+(* Fork bomb: the frame allocator runs dry and the kernel kills with
+   SIGKILL rather than crashing the simulator. *)
+let test_out_of_frames () =
+  let bomb =
+    Kernel.Image.build ~name:"bomb"
+      ~code:(fun ~lbl:_ ->
+        [
+          L "main";
+          L "again";
+          (* touch a fresh heap page each round, then fork *)
+          I (Mov_ri (EAX, 2));
+          I (Int 0x80);
+          I (Jmp (Lbl "again"));
+        ])
+      ~entry:"main" ()
+  in
+  let k = Kernel.Os.create ~frames:64 ~protection:(Split_memory.protection ()) () in
+  let _ = Kernel.Os.spawn k bomb in
+  let reason = Kernel.Os.run ~fuel:200_000 k in
+  ignore reason;
+  Alcotest.(check bool) "some process died of sigkill or sim survived" true
+    (List.exists
+       (fun (p : Kernel.Proc.t) ->
+         match p.state with
+         | Kernel.Proc.Zombie (Kernel.Proc.Killed Kernel.Proc.Sigkill) -> true
+         | _ -> false)
+       (Kernel.Os.procs k)
+    || reason = Kernel.Os.Fuel_exhausted)
+
+(* Fuzz: arbitrary bytes as a code segment never crash the simulator; the
+   guest dies of a signal or exits, the kernel survives. *)
+let test_fuzzed_code () =
+  let rng = Random.State.make [| 0xF00D |] in
+  for _ = 1 to 40 do
+    let len = 64 + Random.State.int rng 256 in
+    let junk = String.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    let image =
+      Kernel.Image.build ~name:"fuzz"
+        ~code:(fun ~lbl:_ -> [ L "main"; Bytes junk ])
+        ~entry:"main" ()
+    in
+    List.iter
+      (fun defense ->
+        let s = Attack.Runner.start ~defense image in
+        let reason = Kernel.Os.run ~fuel:100_000 s.k in
+        (* any outcome is fine as long as the simulator didn't raise *)
+        ignore reason)
+      [ Defense.unprotected; Defense.split_standalone ]
+  done
+
+let suite =
+  [
+    Alcotest.test_case "page-straddling instruction" `Quick test_page_straddling_insn;
+    Alcotest.test_case "unaligned cross-page word on split pages" `Quick
+      test_unaligned_cross_page_word;
+    Alcotest.test_case "1-entry TLBs still correct" `Quick test_tiny_tlb;
+    Alcotest.test_case "quantum=1 preemption storm" `Quick test_quantum_one;
+    Alcotest.test_case "fork bomb hits frame limit safely" `Quick test_out_of_frames;
+    Alcotest.test_case "fuzzed code never crashes the simulator" `Quick test_fuzzed_code;
+  ]
