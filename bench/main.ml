@@ -273,14 +273,14 @@ let micro () =
             (Workload.Harness.run_single ~defense:Defense.split_standalone
                (Workload.Guests.nbench ~iters:5 ())));
       quick "fig7-point: pipe ctxsw under split" (fun () ->
-          ignore (Workload.Figures.run_ctxsw ~defense:Defense.split_standalone ~iters:20));
+          ignore (Workload.Figures.run_ctxsw ~defense:Defense.split_standalone ~iters:20 ()));
       quick "fig8-point: apache 4KB under split" (fun () ->
           ignore
             (Workload.Figures.run_apache ~defense:Defense.split_standalone ~size:4096
-               ~requests:3));
+               ~requests:3 ()));
       quick "fig9-point: ctxsw at 50% split" (fun () ->
           ignore
-            (Workload.Figures.run_ctxsw ~defense:(Defense.split_fraction 50) ~iters:20));
+            (Workload.Figures.run_ctxsw ~defense:(Defense.split_fraction 50) ~iters:20 ()));
     ]
   in
   let benchmark test =
@@ -321,16 +321,65 @@ let calib () =
     show name (f Defense.unprotected);
     show name (f Defense.split_standalone)
   in
-  both "apache-32K" (fun d -> Workload.Figures.run_apache ~defense:d ~size:32768 ~requests:25);
-  both "apache-1K" (fun d -> Workload.Figures.run_apache ~defense:d ~size:1024 ~requests:25);
-  both "gzip" (fun d -> Workload.Figures.run_gzip ~defense:d ~size:(48*1024));
-  both "ctxsw" (fun d -> Workload.Figures.run_ctxsw ~defense:d ~iters:250);
+  both "apache-32K" (fun d -> Workload.Figures.run_apache ~defense:d ~size:32768 ~requests:25 ());
+  both "apache-1K" (fun d -> Workload.Figures.run_apache ~defense:d ~size:1024 ~requests:25 ());
+  both "gzip" (fun d -> Workload.Figures.run_gzip ~defense:d ~size:(48*1024) ());
+  both "ctxsw" (fun d -> Workload.Figures.run_ctxsw ~defense:d ~iters:250 ());
   List.iter
     (fun (n, v) -> out "  nbench %-22s %.3f" n v)
     (Workload.Figures.nbench_results ~defense:Defense.split_standalone);
   List.iter
     (fun (n, v) -> out "  unixbench %-20s %.3f" n v)
     (Workload.Figures.unixbench_pieces ~defense:Defense.split_standalone)
+
+(* --- machine-readable export (--json FILE) ------------------------------- *)
+
+(* Run the headline workloads under the stock and split kernels with a live
+   observability sink, and dump both the per-run counters and the
+   accumulated metrics registry as one JSON document. *)
+let json_bench file =
+  let module J = Obs.Json in
+  let obs = Obs.create () in
+  let result_json (r : Workload.Harness.result) =
+    J.Obj
+      [
+        ("label", J.Str r.label);
+        ("defense", J.Str r.defense);
+        ("cycles", J.Int r.cycles);
+        ("insns", J.Int r.insns);
+        ("traps", J.Int r.traps);
+        ("split_faults", J.Int r.split_faults);
+        ("single_steps", J.Int r.single_steps);
+        ("ctx_switches", J.Int r.ctx_switches);
+        ("peak_frames", J.Int r.peak_frames);
+        ("itlb_misses", J.Int r.itlb_misses);
+        ("dtlb_misses", J.Int r.dtlb_misses);
+      ]
+  in
+  let runs =
+    List.concat_map
+      (fun defense ->
+        [
+          result_json
+            (Workload.Figures.run_apache ~obs ~defense ~size:32768 ~requests:25 ());
+          result_json (Workload.Figures.run_gzip ~obs ~defense ~size:(48 * 1024) ());
+          result_json (Workload.Figures.run_ctxsw ~obs ~defense ~iters:250 ());
+        ])
+      [ Defense.unprotected; Defense.split_standalone ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "split-memory-bench/1");
+        ("benchmarks", J.List runs);
+        ("metrics", Obs.Metrics.to_json (Obs.snapshot obs));
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  out "wrote %s" file
 
 (* --- driver -------------------------------------------------------------- *)
 
@@ -362,4 +411,12 @@ let () =
     | "all" -> all_reproduction ()
     | other -> Fmt.epr "unknown experiment %S@." other
   in
-  match args with [] -> all_reproduction () | args -> List.iter dispatch args
+  match args with
+  | "--json" :: file :: rest ->
+    json_bench file;
+    List.iter dispatch rest
+  | [ "--json" ] ->
+    Fmt.epr "--json needs a FILE argument@.";
+    exit 1
+  | [] -> all_reproduction ()
+  | args -> List.iter dispatch args

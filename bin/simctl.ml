@@ -52,6 +52,90 @@ let show_outcome_and_log outcome (k : Kernel.Os.t) =
   Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name outcome);
   Fmt.pr "--- kernel log ---@.%a@." Kernel.Event_log.pp (Kernel.Os.log k)
 
+(* observability plumbing *)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the metrics snapshot (counters, gauges, histograms) after the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write the cycle-stamped event trace to $(docv) as JSON Lines.")
+
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the trace as a Chrome trace_event document (load it in \
+           about://tracing or Perfetto).")
+
+let make_obs ~metrics ~trace ~chrome =
+  if metrics || trace <> None || chrome <> None then Obs.create () else Obs.null
+
+let render_metrics reg =
+  let counters = Obs.Metrics.counters reg in
+  if counters <> [] then
+    print_string
+      (Report.table ~title:"counters" ~header:[ "counter"; "count" ]
+         (List.map (fun (n, c) -> [ n; string_of_int c ]) counters));
+  let gauges = Obs.Metrics.gauges reg in
+  if gauges <> [] then
+    print_string
+      (Report.table ~title:"gauges" ~header:[ "gauge"; "value" ]
+         (List.map (fun (n, v) -> [ n; Fmt.str "%.2f" v ]) gauges));
+  List.iter
+    (fun (h : Obs.Metrics.histogram) ->
+      if h.n > 0 then
+        print_string
+          (Report.dist
+             ~title:
+               (Fmt.str "%s (n=%d mean=%.1f min=%d max=%d)" h.h_name h.n
+                  (Obs.Metrics.mean h) h.vmin h.vmax)
+             (List.map
+                (fun (lo, hi, c) -> (Fmt.str "%d..%d" lo hi, c))
+                (Obs.Metrics.nonzero_buckets h))))
+    (Obs.Metrics.histograms reg);
+  List.iter
+    (fun (name, cells) ->
+      let top = List.filteri (fun i _ -> i < 10) cells in
+      if top <> [] then print_string (Report.dist ~title:(name ^ " (top 10)") top))
+    (Obs.Metrics.labeled_sets reg)
+
+let finish_obs obs ~metrics ~trace ~chrome =
+  if Obs.enabled obs then begin
+    if metrics then render_metrics (Obs.snapshot obs);
+    let write what f emit =
+      try emit f
+      with Sys_error msg -> Fmt.epr "simctl: cannot write %s: %s@." what msg
+    in
+    Option.iter
+      (fun f ->
+        write "trace" f (fun f ->
+            Obs.write_trace obs f;
+            Fmt.pr "trace: %d events -> %s@." (List.length (Obs.events obs)) f))
+      trace;
+    Option.iter
+      (fun f ->
+        write "chrome trace" f (fun f ->
+            Obs.write_chrome_trace obs f;
+            Fmt.pr "chrome trace -> %s@." f))
+      chrome
+  end
+
+(* The machine's own counters, printed after every attack/workload run. *)
+let show_machine (k : Kernel.Os.t) =
+  let mmu = Kernel.Os.mmu k in
+  Fmt.pr "%a@." Hw.Cost.pp (Kernel.Os.cost k);
+  Fmt.pr "%a@." Hw.Tlb.pp_stats (Hw.Mmu.itlb mmu);
+  Fmt.pr "%a@." Hw.Tlb.pp_stats (Hw.Mmu.dtlb mmu)
+
 (* attack command *)
 
 let attack_names =
@@ -73,27 +157,33 @@ let attack_arg =
         ~doc:"One of: apache, bind, proftpd, samba, wuftpd, nx-bypass, mixed-page.")
 
 let attack_cmd =
-  let run defense response which =
+  let run defense response metrics trace chrome which =
     let defense = apply_response defense response in
-    match which with
+    let obs = make_obs ~metrics ~trace ~chrome in
+    (match which with
     | `Real Attack.Realworld.Wuftpd ->
-      let o, s = Attack.Realworld.run_wuftpd ~defense () in
-      show_outcome_and_log o s.k
+      let o, s = Attack.Realworld.run_wuftpd ~defense ~obs () in
+      show_outcome_and_log o s.k;
+      show_machine s.k
     | `Real id ->
-      let s = Attack.Runner.start ~defense (Attack.Realworld.victim id) in
-      ignore s;
-      let o = Attack.Realworld.run ~defense id in
-      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o)
+      let o, s = Attack.Realworld.run_session ~defense ~obs id in
+      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o);
+      Option.iter (fun (s : Attack.Runner.session) -> show_machine s.k) s
     | `Nx_bypass ->
-      let o = Attack.Bypass.run_nx_bypass ~defense () in
-      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o)
+      let o, s = Attack.Bypass.run_nx_bypass_session ~defense ~obs () in
+      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o);
+      show_machine s.k
     | `Mixed ->
-      let o = Attack.Bypass.run_mixed_page ~defense () in
-      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o)
+      let o, s = Attack.Bypass.run_mixed_page_session ~defense ~obs () in
+      Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o);
+      show_machine s.k);
+    finish_obs obs ~metrics ~trace ~chrome
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a real-world attack simulation under a defense.")
-    Term.(const run $ defense_arg $ response_arg $ attack_arg)
+    Term.(
+      const run $ defense_arg $ response_arg $ metrics_arg $ trace_arg $ chrome_arg
+      $ attack_arg)
 
 (* grid command *)
 
@@ -134,27 +224,64 @@ let workload_arg =
     & info [] ~docv:"WORKLOAD"
         ~doc:"One of: apache32k, apache1k, gzip, nbench, ctxsw, unixbench.")
 
+(* Shared by the workload and stats commands: run one workload with the
+   kernel in hand so the machine counters (cost, TLBs) can be printed. *)
+let exec_workload ~obs ~defense which =
+  let show ((r : Workload.Harness.result), k) =
+    Fmt.pr
+      "%s under %s: %d cycles, %d insns, %d traps, %d split faults, %d ctx switches@."
+      r.label r.defense r.cycles r.insns r.traps r.split_faults r.ctx_switches;
+    show_machine k
+  in
+  match which with
+  | `Apache size ->
+    show
+      (Workload.Harness.run_pair_k ~obs ~defense
+         (Workload.Guests.apache_server ~size ())
+         (Workload.Guests.apache_client ~size ~requests:25 ()))
+  | `Gzip ->
+    let size = 48 * 1024 in
+    show
+      (Workload.Harness.run_pair_k ~obs ~defense ~capacity:4096
+         (Workload.Guests.gzip_disk ~size ~block:4096 ())
+         (Workload.Guests.gzip ~size ()))
+  | `Nbench ->
+    show
+      (Workload.Harness.run_single_k ~obs ~defense (Workload.Guests.nbench ~iters:60 ()))
+  | `Ctxsw ->
+    show
+      (Workload.Harness.run_pair_k ~obs ~defense
+         (Workload.Guests.ctxsw_ping ~iters:250 ())
+         (Workload.Guests.ctxsw_pong ()))
+  | `Unixbench ->
+    List.iter
+      (fun (name, v) -> Fmt.pr "%-20s %.3f@." name v)
+      (Workload.Figures.unixbench_pieces ~defense)
+
 let workload_cmd =
-  let run defense which =
-    let show (r : Workload.Harness.result) =
-      Fmt.pr
-        "%s under %s: %d cycles, %d insns, %d traps, %d split faults, %d ctx switches@."
-        r.label r.defense r.cycles r.insns r.traps r.split_faults r.ctx_switches
-    in
-    match which with
-    | `Apache size ->
-      show (Workload.Figures.run_apache ~defense ~size ~requests:25)
-    | `Gzip -> show (Workload.Figures.run_gzip ~defense ~size:(48 * 1024))
-    | `Nbench -> show (Workload.Harness.run_single ~defense (Workload.Guests.nbench ~iters:60 ()))
-    | `Ctxsw -> show (Workload.Figures.run_ctxsw ~defense ~iters:250)
-    | `Unixbench ->
-      List.iter
-        (fun (name, v) -> Fmt.pr "%-20s %.3f@." name v)
-        (Workload.Figures.unixbench_pieces ~defense)
+  let run defense metrics trace chrome which =
+    let obs = make_obs ~metrics ~trace ~chrome in
+    exec_workload ~obs ~defense which;
+    finish_obs obs ~metrics ~trace ~chrome
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a benchmark workload under a defense and print counters.")
-    Term.(const run $ defense_arg $ workload_arg)
+    Term.(const run $ defense_arg $ metrics_arg $ trace_arg $ chrome_arg $ workload_arg)
+
+(* stats command: the workload run with the full observability readout *)
+
+let stats_cmd =
+  let run defense trace chrome which =
+    let obs = Obs.create () in
+    exec_workload ~obs ~defense which;
+    finish_obs obs ~metrics:true ~trace ~chrome
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a workload with observability on and render the full metrics snapshot \
+          (counters, gauges, latency histograms, per-page/per-pid tallies).")
+    Term.(const run $ defense_arg $ trace_arg $ chrome_arg $ workload_arg)
 
 (* disasm / layout commands *)
 
@@ -226,6 +353,6 @@ let main =
   Cmd.group
     (Cmd.info "simctl" ~version:"1.0.0"
        ~doc:"Split-memory virtual Harvard architecture simulator control tool.")
-    [ attack_cmd; grid_cmd; workload_cmd; disasm_cmd; layout_cmd ]
+    [ attack_cmd; grid_cmd; workload_cmd; stats_cmd; disasm_cmd; layout_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -77,9 +77,9 @@ let plugin_host () =
       @ [ I (Mov_rr (ESP, EBP)); I (Pop EBP); I Ret ])
     ~entry:"main" ()
 
-let run_nx_bypass ?defense () =
+let run_nx_bypass_session ?defense ?obs () =
   let image = plugin_host () in
-  let s = Runner.start ?defense image in
+  let s = Runner.start ?defense ?obs image in
   (* The mmap region base is deterministic: first mmap in the process. *)
   let plugin_base = Kernel.Layout.mmap_base in
   let code = Shellcode.execve_bin_sh ~sled:16 ~base:plugin_base () in
@@ -90,7 +90,9 @@ let run_nx_bypass ?defense () =
   assert (not (Shellcode.contains_newline packet));
   Runner.send s (packet ^ "\n");
   ignore (Runner.step s);
-  Runner.outcome s
+  (Runner.outcome s, s)
+
+let run_nx_bypass ?defense ?obs () = fst (run_nx_bypass_session ?defense ?obs ())
 
 (* --- mixed code+data page ----------------------------------------------- *)
 
@@ -128,9 +130,9 @@ let jit_victim () =
       @ Guest.sys_exit 0)
     ~entry:"main" ()
 
-let run_mixed_page ?defense () =
+let run_mixed_page_session ?defense ?obs () =
   let image = jit_victim () in
-  let s = Runner.start ?defense image in
+  let s = Runner.start ?defense ?obs image in
   let mbuf = Kernel.Image.label image "mbuf" in
   let code = Shellcode.execve_bin_sh ~sled:8 ~base:mbuf () in
   let payload =
@@ -139,4 +141,6 @@ let run_mixed_page ?defense () =
   assert (not (Shellcode.contains_newline payload));
   Runner.send s (payload ^ "\n");
   ignore (Runner.step s);
-  Runner.outcome s
+  (Runner.outcome s, s)
+
+let run_mixed_page ?defense ?obs () = fst (run_mixed_page_session ?defense ?obs ())

@@ -5,15 +5,21 @@ val plugin_host : unit -> Kernel.Image.t
 (** Victim with a legitimate library routine that mmaps writable+executable
     memory, copies staged bytes in, and runs them (JIT/plugin loader). *)
 
-val run_nx_bypass : ?defense:Defense.t -> unit -> Runner.outcome
+val run_nx_bypass : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
 (** The "well-crafted stack" DEP bypass (paper ref [4]): stage shellcode as
     data, hijack control into the loader gadget, let it conjure executable
     memory. Succeeds under NX; split memory splits the fresh RWX mapping
     and the copied code never reaches the code copy. *)
 
+val run_nx_bypass_session :
+  ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome * Runner.session
+
 val jit_victim : unit -> Kernel.Image.t
 (** Victim keeping code and data on the same writable, executable page
     (Fig. 1b: JavaVM, signal trampolines, loadable modules). *)
 
-val run_mixed_page : ?defense:Defense.t -> unit -> Runner.outcome
+val run_mixed_page : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
 (** Overflow within the mixed page; NX cannot mark it non-executable. *)
+
+val run_mixed_page_session :
+  ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome * Runner.session

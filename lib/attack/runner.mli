@@ -16,7 +16,16 @@ val is_foiled : outcome -> bool
 
 type session = { k : Kernel.Os.t; victim : Kernel.Proc.t }
 
-val start : ?defense:Defense.t -> ?stack_jitter_pages:int -> ?seed:int -> Kernel.Image.t -> session
+(** [start image] spawns [image] under [defense]; [obs] (default
+    [Obs.null]) threads a live trace/metrics sink into the kernel. *)
+val start :
+  ?defense:Defense.t ->
+  ?stack_jitter_pages:int ->
+  ?seed:int ->
+  ?obs:Obs.t ->
+  Kernel.Image.t ->
+  session
+
 val send : session -> string -> unit
 val step : session -> Kernel.Os.stop_reason
 val recv : session -> string

@@ -37,6 +37,7 @@ let protection ?(policy = Policy.All_pages) ?(response = Response.Break) ?(nx = 
     if Splitter.is_active_split pte then begin
       (* the handler's extra work: test the split bit, pick the copy *)
       Hw.Cost.charge ctx.cost 25;
+      Obs.count ctx.obs "split.tlb_routes";
       let s = Option.get pte.split in
       let frame =
         match f.access with
@@ -58,41 +59,58 @@ let protection ?(policy = Policy.All_pages) ?(response = Response.Break) ?(nx = 
   (* Algorithm 1: the split-memory page-fault handler. *)
   let on_protection_fault (ctx : Kernel.Protection.ctx) (proc : Kernel.Proc.t) (f : Hw.Mmu.fault) =
     match pte_of proc ctx f.addr with
-    | Some pte when Splitter.is_active_split pte && (not pte.user) && f.from_user -> (
+    | Some pte when Splitter.is_active_split pte && (not pte.user) && f.from_user ->
+      let since = ctx.cost.cycles in
       Hw.Cost.charge_split_pf ctx.cost;
       let s = Option.get pte.split in
-      match f.access with
-      | Hw.Mmu.Fetch -> (
-        pte.frame <- s.code_frame;
-        Kernel.Pte.unrestrict pte;
-        match itlb_load with
-        | Single_step ->
-          (* Code access: single-step the restarted instruction so the
-             ITLB gets filled; the debug-interrupt handler re-restricts. *)
-          proc.pending_fault_addr <- Some f.addr;
-          proc.regs.tf <- true;
-          Kernel.Protection.Handled
-        | Ret_gadget ->
-          (* The paper's discarded alternative (S4.2.4): plant a ret at the
-             end of the code copy, "call" it to fill the ITLB, restore the
-             byte. Both stores hit icache lines and pay the coherency
-             penalty — which is why the paper found this slower. *)
-          let psz = page_size ctx in
-          let off = psz - 1 in
-          let saved = Hw.Phys.read8 ctx.phys ~frame:s.code_frame ~off in
-          Hw.Mmu.kernel_code_write ctx.mmu ~frame:s.code_frame ~off 0x32;
-          ignore (Hw.Mmu.fetch8 ctx.mmu ~from_user:true ((f.addr / psz * psz) + off));
-          Hw.Mmu.kernel_code_write ctx.mmu ~frame:s.code_frame ~off saved;
+      let result =
+        match f.access with
+        | Hw.Mmu.Fetch -> (
+          pte.frame <- s.code_frame;
+          Kernel.Pte.unrestrict pte;
+          match itlb_load with
+          | Single_step ->
+            (* Code access: single-step the restarted instruction so the
+               ITLB gets filled; the debug-interrupt handler re-restricts. *)
+            proc.pending_fault_addr <- Some f.addr;
+            proc.regs.tf <- true;
+            if Obs.enabled ctx.obs then
+              Obs.span_begin ctx.obs
+                ~key:("ss:" ^ string_of_int proc.pid)
+                ~cat:"split" "split.single_step"
+                ~args:[ ("addr", Obs.Json.Str (Fmt.str "0x%08x" f.addr)) ];
+            Kernel.Protection.Handled
+          | Ret_gadget ->
+            (* The paper's discarded alternative (S4.2.4): plant a ret at the
+               end of the code copy, "call" it to fill the ITLB, restore the
+               byte. Both stores hit icache lines and pay the coherency
+               penalty — which is why the paper found this slower. *)
+            let psz = page_size ctx in
+            let off = psz - 1 in
+            let saved = Hw.Phys.read8 ctx.phys ~frame:s.code_frame ~off in
+            Hw.Mmu.kernel_code_write ctx.mmu ~frame:s.code_frame ~off 0x32;
+            ignore (Hw.Mmu.fetch8 ctx.mmu ~from_user:true ((f.addr / psz * psz) + off));
+            Hw.Mmu.kernel_code_write ctx.mmu ~frame:s.code_frame ~off saved;
+            Kernel.Pte.restrict pte;
+            Kernel.Protection.Handled)
+        | Hw.Mmu.Read | Hw.Mmu.Write ->
+          (* Data access: pagetable walk — point at the data copy,
+             unrestrict, touch a byte to load the DTLB, restrict again. *)
+          pte.frame <- s.data_frame;
+          Kernel.Pte.unrestrict pte;
+          Hw.Mmu.touch_read ctx.mmu f.addr;
           Kernel.Pte.restrict pte;
-          Kernel.Protection.Handled)
-      | Hw.Mmu.Read | Hw.Mmu.Write ->
-        (* Data access: pagetable walk — point at the data copy,
-           unrestrict, touch a byte to load the DTLB, restrict again. *)
-        pte.frame <- s.data_frame;
-        Kernel.Pte.unrestrict pte;
-        Hw.Mmu.touch_read ctx.mmu f.addr;
-        Kernel.Pte.restrict pte;
-        Kernel.Protection.Handled)
+          Kernel.Protection.Handled
+      in
+      if Obs.enabled ctx.obs then
+        Obs.complete ctx.obs ~cat:"split" ~since
+          (match f.access with
+          | Hw.Mmu.Fetch -> "split.alg1_fetch"
+          | Hw.Mmu.Read | Hw.Mmu.Write -> "split.alg1_data")
+          ~args:
+            [ ("pid", Obs.Json.Int proc.pid);
+              ("addr", Obs.Json.Str (Fmt.str "0x%08x" f.addr)) ];
+      result
     | Some pte when nx && pte.nx && f.access = Hw.Mmu.Fetch ->
       (* The execute-disable bit caught a fetch from a non-split data
          page (combined deployment mode). *)
@@ -114,6 +132,17 @@ let protection ?(policy = Policy.All_pages) ?(response = Response.Break) ?(nx = 
       | Some _ | None -> ());
       proc.regs.tf <- false;
       proc.pending_fault_addr <- None;
+      (if Obs.enabled ctx.obs then
+         match
+           Obs.span_end ctx.obs
+             ~key:("ss:" ^ string_of_int proc.pid)
+             ~cat:"split" "split.single_step"
+         with
+         | Some window ->
+           Obs.Metrics.observe
+             (Obs.histogram ctx.obs "split.single_step_window_cycles")
+             window
+         | None -> ());
       true
   in
 
@@ -125,6 +154,14 @@ let protection ?(policy = Policy.All_pages) ?(response = Response.Break) ?(nx = 
     match pte_of proc ctx eip with
     | Some pte when Splitter.is_active_split pte -> (
       proc.detections <- proc.detections + 1;
+      if Obs.enabled ctx.obs then begin
+        Obs.count ctx.obs "split.detections";
+        Obs.event ctx.obs ~cat:"split" "split.detection"
+          ~args:
+            [ ("pid", Obs.Json.Int proc.pid);
+              ("eip", Obs.Json.Str (Fmt.str "0x%08x" eip));
+              ("response", Obs.Json.Str (Response.name response)) ]
+      end;
       Kernel.Event_log.add ctx.log
         (Kernel.Event_log.Injection_detected
            { pid = proc.pid; eip; mode = Response.name response });

@@ -2,6 +2,7 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable flushes : int;
 }
 
 type t = {
@@ -20,7 +21,7 @@ let create ?(line_bits = 6) ~name ~lines () =
     line_bits;
     lines;
     table = Array.make lines (-1);
-    stats = { hits = 0; misses = 0; invalidations = 0 };
+    stats = { hits = 0; misses = 0; invalidations = 0; flushes = 0 };
   }
 
 let name t = t.name
@@ -56,4 +57,14 @@ let invalidate t paddr =
   end
   else false
 
-let flush t = Array.fill t.table 0 t.lines (-1)
+let flush t =
+  Array.fill t.table 0 t.lines (-1);
+  t.stats.flushes <- t.stats.flushes + 1
+
+let hit_rate t =
+  let total = t.stats.hits + t.stats.misses in
+  if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total
+
+let pp_stats ppf t =
+  Fmt.pf ppf "%s: hits=%d misses=%d flushes=%d invl=%d" t.name t.stats.hits
+    t.stats.misses t.stats.flushes t.stats.invalidations

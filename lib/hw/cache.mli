@@ -11,6 +11,7 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable flushes : int;
 }
 
 type t
@@ -28,3 +29,8 @@ val invalidate : t -> int -> bool
 (** Drop the line covering the address; [true] if it was present. *)
 
 val flush : t -> unit
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before any access. *)
+
+val pp_stats : Format.formatter -> t -> unit

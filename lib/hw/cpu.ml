@@ -183,7 +183,16 @@ let step mmu (r : regs) =
         Ok (Syscall (get r EAX))
       | Int n -> Error (General_protection (Fmt.str "int 0x%x unsupported" n)))
   in
+  (* the MMU already traced its own faults; #UD and #GP surface here *)
+  let trace_trap fault =
+    let obs = Mmu.obs mmu in
+    if Obs.enabled obs then
+      Obs.event obs ~cat:"cpu" "cpu.trap"
+        ~args:[ ("fault", Obs.Json.Str (Fmt.str "%a" pp_fault fault)) ]
+  in
   match exec () with
   | exception Mmu.Page_fault f -> { outcome = Error (Page f); debug_trap = false }
-  | Error _ as e -> { outcome = e; debug_trap = false }
+  | Error fault as e ->
+    trace_trap fault;
+    { outcome = e; debug_trap = false }
   | Ok _ as ok -> { outcome = ok; debug_trap = tf_at_start }

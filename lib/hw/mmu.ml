@@ -36,6 +36,7 @@ type t = {
          for instruction fetches *)
   mutable icache : Cache.t option;
   mutable dcache : Cache.t option;
+  mutable obs : Obs.t;
 }
 
 let no_pagetable _ = None
@@ -52,11 +53,14 @@ let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ~phys ~cost () =
     walk_code = None;
     icache = None;
     dcache = None;
+    obs = Obs.null;
   }
 
 let phys t = t.phys
 let itlb t = t.itlb
 let dtlb t = t.dtlb
+let obs t = t.obs
+let set_obs t obs = t.obs <- obs
 let set_nx t v = t.nx_enabled <- v
 let nx_enabled t = t.nx_enabled
 let set_fill_mode t m = t.fill_mode <- m
@@ -95,11 +99,20 @@ let touch_dcache_write t paddr =
 let load_tlb t access (e : Tlb.entry) =
   Cost.charge t.cost t.cost.params.soft_tlb_fill;
   let tlb = match access with Fetch -> t.itlb | Read | Write -> t.dtlb in
+  if Obs.enabled t.obs then begin
+    Obs.count t.obs "mmu.soft_fills";
+    Obs.event t.obs ~cat:"hw" "mmu.soft_fill"
+      ~args:[ ("tlb", Obs.Json.Str (Tlb.name tlb)); ("vpn", Obs.Json.Int e.vpn) ]
+  end;
   Tlb.insert tlb e
 
 let flush_tlbs t =
   Tlb.flush t.itlb;
-  Tlb.flush t.dtlb
+  Tlb.flush t.dtlb;
+  if Obs.enabled t.obs then begin
+    Obs.count t.obs "mmu.tlb_flushes";
+    Obs.event t.obs ~cat:"hw" "mmu.tlb_flush"
+  end
 
 let reload_cr3 t walk =
   t.walk <- walk;
@@ -119,8 +132,28 @@ let invlpg t vpn =
 
 let mask32 = Isa.Encode.mask32
 
+(* Every architectural fault goes through here so the trace stream sees
+   them uniformly, whichever path raised. *)
+let raise_fault t (f : fault) =
+  if Obs.enabled t.obs then begin
+    Obs.count t.obs "mmu.faults";
+    Obs.event t.obs ~cat:"hw" "mmu.fault"
+      ~args:
+        [
+          ("addr", Obs.Json.Int f.addr);
+          ("access", Obs.Json.Str (Fmt.str "%a" pp_access f.access));
+          ( "kind",
+            Obs.Json.Str
+              (match f.kind with
+              | Not_present -> "not-present"
+              | Protection -> "protection"
+              | Tlb_miss -> "tlb-miss") );
+        ]
+  end;
+  raise (Page_fault f)
+
 let check_perms ~addr ~access ~from_user ~user ~writable ~nx t =
-  let fault kind = raise (Page_fault { addr; access; kind; from_user }) in
+  let fault kind = raise_fault t { addr; access; kind; from_user } in
   if from_user && not user then fault Protection;
   if access = Write && not writable then fault Protection;
   if access = Fetch && t.nx_enabled && nx then fault Protection
@@ -137,20 +170,30 @@ let translate t ~from_user access vaddr =
     (e.frame, off)
   | None when t.fill_mode = Software_fill ->
     (* the hardware has no walker: trap to the OS miss handler *)
-    raise (Page_fault { addr = vaddr; access; kind = Tlb_miss; from_user })
+    raise_fault t { addr = vaddr; access; kind = Tlb_miss; from_user }
   | None -> (
     Cost.charge_walk t.cost;
+    if Obs.enabled t.obs then begin
+      Obs.count t.obs "mmu.walks";
+      Obs.event t.obs ~cat:"hw" "mmu.walk"
+        ~args:
+          [
+            ("vpn", Obs.Json.Int vpn);
+            ("tlb", Obs.Json.Str (Tlb.name tlb));
+          ]
+    end;
     let walk =
       match (access, t.walk_code) with
       | Fetch, Some wc -> wc
       | (Fetch | Read | Write), _ -> t.walk
     in
     match walk vpn with
-    | None -> raise (Page_fault { addr = vaddr; access; kind = Not_present; from_user })
+    | None -> raise_fault t { addr = vaddr; access; kind = Not_present; from_user }
     | Some p ->
       if not p.present then
-        raise (Page_fault { addr = vaddr; access; kind = Not_present; from_user });
+        raise_fault t { addr = vaddr; access; kind = Not_present; from_user };
       check_perms ~addr:vaddr ~access ~from_user ~user:p.user ~writable:p.writable ~nx:p.nx t;
+      if Obs.enabled t.obs then Obs.count t.obs "mmu.fills";
       Tlb.insert tlb { vpn; frame = p.frame; user = p.user; writable = p.writable; nx = p.nx };
       (p.frame, off))
 

@@ -47,6 +47,12 @@ val phys : t -> Phys.t
 val itlb : t -> Tlb.t
 val dtlb : t -> Tlb.t
 
+val obs : t -> Obs.t
+val set_obs : t -> Obs.t -> unit
+(** Attach an observability sink (default {!Obs.null}). The MMU emits
+    trace events and counters for walks, fills, soft fills, TLB flushes
+    and faults when the sink is enabled. *)
+
 val set_nx : t -> bool -> unit
 (** Enable/disable execute-disable-bit enforcement (legacy x86 = off). *)
 

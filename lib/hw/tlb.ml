@@ -71,6 +71,10 @@ let flush t =
   Queue.clear t.fifo;
   t.stats.flushes <- t.stats.flushes + 1
 
+let hit_rate t =
+  let total = t.stats.hits + t.stats.misses in
+  if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total
+
 let pp_stats ppf t =
   Fmt.pf ppf "%s: hits=%d misses=%d flushes=%d invl=%d evict=%d" t.name t.stats.hits
     t.stats.misses t.stats.flushes t.stats.invalidations t.stats.evictions

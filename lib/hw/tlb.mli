@@ -40,4 +40,7 @@ val invalidate : t -> int -> unit
 val flush : t -> unit
 (** Drop everything — what a CR3 reload (context switch) does. *)
 
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+
 val pp_stats : Format.formatter -> t -> unit

@@ -32,10 +32,32 @@ let pp_event ppf = function
   | Library_rejected { name } -> Fmt.pf ppf "library %S rejected: bad signature" name
   | Note s -> Fmt.string ppf s
 
-type t = { mutable events : event list }
+let tag = function
+  | Exec_shell _ -> "exec_shell"
+  | Injection_detected _ -> "injection_detected"
+  | Shellcode_dump _ -> "shellcode_dump"
+  | Forensic_injected _ -> "forensic_injected"
+  | Recovery_invoked _ -> "recovery_invoked"
+  | Execution_trail _ -> "execution_trail"
+  | Signal_delivered _ -> "signal_delivered"
+  | Syscall_traced _ -> "syscall_traced"
+  | Process_exited _ -> "process_exited"
+  | Library_rejected _ -> "library_rejected"
+  | Note _ -> "note"
 
-let create () = { events = [] }
-let add t e = t.events <- e :: t.events
+type t = { mutable events : event list; mutable obs : Obs.t }
+
+let create () = { events = []; obs = Obs.null }
+
+let attach_obs t obs = t.obs <- obs
+
+let add t e =
+  t.events <- e :: t.events;
+  (* the kernel log doubles as a trace producer: each security event also
+     lands in the cycle-stamped trace stream when observability is on *)
+  if Obs.enabled t.obs then
+    Obs.event t.obs ~cat:"log" (tag e)
+      ~args:[ ("text", Obs.Json.Str (Fmt.str "%a" pp_event e)) ]
 let note t fmt = Fmt.kstr (fun s -> add t (Note s)) fmt
 let to_list t = List.rev t.events
 let count t pred = List.length (List.filter pred (to_list t))

@@ -19,9 +19,18 @@ type event =
 
 val pp_event : Format.formatter -> event -> unit
 
+val tag : event -> string
+(** Short machine-readable name of the variant ("exec_shell", ...). *)
+
 type t
 
 val create : unit -> t
+
+val attach_obs : t -> Obs.t -> unit
+(** Mirror every logged event into the trace stream (category ["log"])
+    when the sink is enabled. The in-memory list and {!pp} output are
+    unchanged. *)
+
 val add : t -> event -> unit
 val note : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
 val to_list : t -> event list

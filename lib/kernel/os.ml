@@ -7,6 +7,21 @@ type library = { lib_base : int; code : string; lib_signature : int }
 
 type stop_reason = All_exited | All_blocked | Fuel_exhausted
 
+(* Pre-resolved metric instruments for the hot paths of the scheduler loop
+   ([None] when observability is disabled, so the common case pays one
+   match per event at most). *)
+type hot = {
+  h_retired : Obs.Metrics.counter;
+  h_syscalls : Obs.Metrics.counter;
+  h_faults : Obs.Metrics.counter;
+  h_fault_cycles : Obs.Metrics.histogram;
+  h_syscall_cycles : Obs.Metrics.histogram;
+  h_faults_by_page : Obs.Metrics.labeled;
+  h_faults_by_pid : Obs.Metrics.labeled;
+  h_sys_by_name : Obs.Metrics.labeled;
+  h_sys_by_pid : Obs.Metrics.labeled;
+}
+
 type t = {
   phys : Hw.Phys.t;
   alloc : Frame_alloc.t;
@@ -27,24 +42,88 @@ type t = {
   mutable next_pid : int;
   mutable next_tick : int;
   mutable ticks : int;
+  obs : Obs.t;
+  hot : hot option;
 }
+
+(* Import the point-in-time hardware statistics as gauges, so a metrics
+   snapshot carries the TLB/cache/cost view without double-counting on the
+   hot paths (the hardware already maintains these). *)
+let install_snapshot_hook obs mmu (cost : Hw.Cost.t) =
+  Obs.add_snapshot_hook obs (fun () ->
+      let reg = Obs.metrics obs in
+      let set name v = Obs.Metrics.set_gauge (Obs.Metrics.gauge reg name) v in
+      let seti name v = set name (float_of_int v) in
+      let tlb prefix t =
+        let s = Hw.Tlb.stats t in
+        seti (prefix ^ ".hits") s.hits;
+        seti (prefix ^ ".misses") s.misses;
+        seti (prefix ^ ".flushes") s.flushes;
+        seti (prefix ^ ".invalidations") s.invalidations;
+        seti (prefix ^ ".evictions") s.evictions;
+        set (prefix ^ ".hit_rate") (Hw.Tlb.hit_rate t)
+      in
+      tlb "tlb.itlb" (Hw.Mmu.itlb mmu);
+      tlb "tlb.dtlb" (Hw.Mmu.dtlb mmu);
+      let cache prefix c =
+        match c with
+        | None -> ()
+        | Some c ->
+          let s = Hw.Cache.stats c in
+          seti (prefix ^ ".hits") s.hits;
+          seti (prefix ^ ".misses") s.misses;
+          seti (prefix ^ ".flushes") s.flushes;
+          seti (prefix ^ ".invalidations") s.invalidations;
+          set (prefix ^ ".hit_rate") (Hw.Cache.hit_rate c)
+      in
+      cache "cache.icache" (Hw.Mmu.icache mmu);
+      cache "cache.dcache" (Hw.Mmu.dcache mmu);
+      seti "cost.cycles" cost.cycles;
+      seti "cost.insns" cost.insns;
+      seti "cost.traps" cost.traps;
+      seti "cost.split_faults" cost.split_faults;
+      seti "cost.single_steps" cost.single_steps;
+      seti "cost.syscalls" cost.syscalls;
+      seti "cost.ctx_switches" cost.ctx_switches)
 
 let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?(stack_jitter_pages = 0)
     ?(verify_signatures = true) ?(seed = 7) ?(tlb_fill = Hw.Mmu.Hardware_walk)
-    ?(caches = false) ~protection () =
+    ?(caches = false) ?(obs = Obs.null) ~protection () =
   let phys = Hw.Phys.create ~page_size ~frames () in
   let cost = Hw.Cost.create ?params:cost_params () in
   let mmu = Hw.Mmu.create ~itlb_capacity ~dtlb_capacity ~phys ~cost () in
   Hw.Mmu.set_nx mmu protection.Protection.nx_hardware;
   Hw.Mmu.set_fill_mode mmu tlb_fill;
   if caches then Hw.Mmu.enable_caches mmu;
+  let log = Event_log.create () in
+  let hot =
+    if not (Obs.enabled obs) then None
+    else begin
+      Obs.set_clock obs (fun () -> cost.cycles);
+      Hw.Mmu.set_obs mmu obs;
+      Event_log.attach_obs log obs;
+      install_snapshot_hook obs mmu cost;
+      Some
+        {
+          h_retired = Obs.counter obs "cpu.retired";
+          h_syscalls = Obs.counter obs "os.syscalls";
+          h_faults = Obs.counter obs "os.page_faults";
+          h_fault_cycles = Obs.histogram obs "os.fault_service_cycles";
+          h_syscall_cycles = Obs.histogram obs "os.syscall_service_cycles";
+          h_faults_by_page = Obs.labeled obs "faults.by_page";
+          h_faults_by_pid = Obs.labeled obs "faults.by_pid";
+          h_sys_by_name = Obs.labeled obs "syscalls.by_name";
+          h_sys_by_pid = Obs.labeled obs "syscalls.by_pid";
+        }
+    end
+  in
   {
     phys;
     alloc = Frame_alloc.create phys;
     mmu;
     cost;
-    log = Event_log.create ();
+    log;
     protection;
     procs = Hashtbl.create 8;
     libraries = Hashtbl.create 4;
@@ -59,12 +138,15 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     next_pid = 1;
     next_tick = (if cost.params.timer_tick_cycles > 0 then cost.params.timer_tick_cycles else max_int);
     ticks = 0;
+    obs;
+    hot;
   }
 
 let ctx t : Protection.ctx =
-  { phys = t.phys; alloc = t.alloc; mmu = t.mmu; cost = t.cost; log = t.log }
+  { phys = t.phys; alloc = t.alloc; mmu = t.mmu; cost = t.cost; log = t.log; obs = t.obs }
 
 let log t = t.log
+let obs t = t.obs
 let cost t = t.cost
 let mmu t = t.mmu
 let phys t = t.phys
@@ -409,6 +491,25 @@ let preview s =
   in
   if String.length clean > 40 then String.sub clean 0 40 ^ "..." else clean
 
+let syscall_name = function
+  | 1 -> "exit"
+  | 2 -> "fork"
+  | 3 -> "read"
+  | 4 -> "write"
+  | 6 -> "close"
+  | 7 -> "waitpid"
+  | 11 -> "execve"
+  | 13 -> "time"
+  | 20 -> "getpid"
+  | 42 -> "pipe"
+  | 45 -> "brk"
+  | 48 -> "sigrecover"
+  | 90 -> "mmap"
+  | 125 -> "mprotect"
+  | 137 -> "uselib"
+  | 158 -> "sched_yield"
+  | n -> Fmt.str "sys_%d" n
+
 let block (p : Proc.t) cond =
   (* Rewind over [int 0x80] so the syscall re-executes on wake-up. *)
   p.regs.eip <- p.regs.eip - 2;
@@ -700,7 +801,9 @@ let switch_to t (p : Proc.t) =
   if t.last_running <> Some p.pid then begin
     Hw.Cost.charge_ctx_switch t.cost;
     load_pagetables t p;
-    t.last_running <- Some p.pid
+    t.last_running <- Some p.pid;
+    if Obs.enabled t.obs then
+      Obs.event t.obs ~cat:"os" "os.ctx_switch" ~args:[ ("pid", Obs.Json.Int p.pid) ]
   end
 
 (* The timer interrupt: charges the trap, and every [daemon_period]-th tick
@@ -730,16 +833,39 @@ let run_quantum t (p : Proc.t) fuel =
     let r = Hw.Cpu.step t.mmu p.regs in
     (match r.outcome with Ok _ -> Proc.record_trace p eip_before | Error _ -> ());
     (match r.outcome with
-    | Ok Hw.Cpu.Retired -> Hw.Cost.charge_insn t.cost
+    | Ok Hw.Cpu.Retired ->
+      Hw.Cost.charge_insn t.cost;
+      (match t.hot with None -> () | Some h -> Obs.Metrics.incr h.h_retired)
     | Ok (Hw.Cpu.Syscall n) ->
+      let since = t.cost.cycles in
       Hw.Cost.charge_insn t.cost;
       Hw.Cost.charge_syscall t.cost;
-      handle_syscall t p n
+      handle_syscall t p n;
+      (match t.hot with
+      | None -> ()
+      | Some h ->
+        Obs.Metrics.incr h.h_retired;
+        Obs.Metrics.incr h.h_syscalls;
+        Obs.Metrics.observe h.h_syscall_cycles (t.cost.cycles - since);
+        Obs.Metrics.incr_label h.h_sys_by_name (syscall_name n);
+        Obs.Metrics.incr_label h.h_sys_by_pid (string_of_int p.pid))
     | Error (Hw.Cpu.Page f) ->
+      let since = t.cost.cycles in
       (* software TLB-miss traps are lightweight (their cost is charged by
          the fill itself); everything else is a full kernel trap *)
       if f.kind <> Hw.Mmu.Tlb_miss then Hw.Cost.charge_trap t.cost;
-      handle_page_fault t p f
+      handle_page_fault t p f;
+      (match t.hot with
+      | None -> ()
+      | Some h ->
+        Obs.Metrics.incr h.h_faults;
+        Obs.Metrics.observe h.h_fault_cycles (t.cost.cycles - since);
+        Obs.Metrics.incr_label h.h_faults_by_page
+          (Fmt.str "0x%05x" (f.addr / t.page_size));
+        Obs.Metrics.incr_label h.h_faults_by_pid (string_of_int p.pid);
+        Obs.complete t.obs ~cat:"os" ~since "os.fault_service"
+          ~args:
+            [ ("pid", Obs.Json.Int p.pid); ("addr", Obs.Json.Str (Fmt.str "0x%08x" f.addr)) ])
     | Error (Hw.Cpu.Invalid_opcode { eip; opcode }) -> (
       Hw.Cost.charge_trap t.cost;
       match t.protection.on_invalid_opcode (ctx t) p ~eip ~opcode with

@@ -31,16 +31,22 @@ val create :
   ?seed:int ->
   ?tlb_fill:Hw.Mmu.fill_mode ->
   ?caches:bool ->
+  ?obs:Obs.t ->
   protection:Protection.t ->
   unit ->
   t
 (** [stack_jitter_pages] models the slight stack-placement randomization of
     Linux 2.6 that made the Samba exploit brute-force (paper §6.1.2).
     [tlb_fill] selects the x86 hardware page walker (default) or the
-    SPARC-style software-managed TLB of §4.7. *)
+    SPARC-style software-managed TLB of §4.7. [obs] (default {!Obs.null})
+    turns on cycle-stamped tracing and metrics across the whole machine:
+    the clock is wired to the cost model, the MMU and event log emit into
+    it, and a snapshot hook imports TLB/cache/cost statistics as gauges. *)
 
 val ctx : t -> Protection.ctx
 val log : t -> Event_log.t
+val obs : t -> Obs.t
+val syscall_name : int -> string
 val cost : t -> Hw.Cost.t
 val mmu : t -> Hw.Mmu.t
 val phys : t -> Hw.Phys.t

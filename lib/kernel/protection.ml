@@ -4,6 +4,7 @@ type ctx = {
   mmu : Hw.Mmu.t;
   cost : Hw.Cost.t;
   log : Event_log.t;
+  obs : Obs.t;
 }
 
 type fault_result = Handled | Not_ours

@@ -12,6 +12,7 @@ type ctx = {
   mmu : Hw.Mmu.t;
   cost : Hw.Cost.t;
   log : Event_log.t;
+  obs : Obs.t;  (** trace/metrics sink ({!Obs.null} when disabled) *)
 }
 
 type fault_result =

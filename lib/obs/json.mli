@@ -1,0 +1,26 @@
+(** Minimal JSON values: enough to export traces and metric snapshots and
+    to parse them back in tests. No external dependency (yojson is not in
+    the tool image). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering with proper string escaping. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON document (no trailing garbage). *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+val to_str : t -> string option

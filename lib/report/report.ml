@@ -43,4 +43,21 @@ let bars ?(width = 40) ~title points =
     points;
   Buffer.contents buf
 
+(* A count distribution (histogram buckets, label tallies): bars scaled to
+   the largest count so the shape survives any magnitude. *)
+let dist ?(width = 40) ~title cells =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  let label_w =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 cells
+  in
+  let peak = List.fold_left (fun acc (_, n) -> max acc n) 0 cells in
+  List.iter
+    (fun (label, n) ->
+      let bar = if peak <= 0 then 0 else n * width / peak in
+      Buffer.add_string buf
+        (Fmt.str "  %s  %s %d\n" (pad label_w label) (String.make bar '#') n))
+    cells;
+  Buffer.contents buf
+
 let percent v = Fmt.str "%.0f%%" (v *. 100.)

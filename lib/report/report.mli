@@ -7,4 +7,8 @@ val bars : ?width:int -> title:string -> (string * float) list -> string
 (** Horizontal bar chart for normalized-performance figures (values are
     clamped to \[0, 1.2\] for display). *)
 
+val dist : ?width:int -> title:string -> (string * int) list -> string
+(** Count distribution (histogram buckets, label tallies); bars are scaled
+    to the largest count. *)
+
 val percent : float -> string

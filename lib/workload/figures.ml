@@ -18,14 +18,14 @@ let spawn_iters = 60
 let fscopy_passes = 3
 let fscopy_size = kb 24
 
-let run_apache ~defense ~size ~requests =
-  Harness.run_pair ~defense
+let run_apache ?obs ~defense ~size ~requests () =
+  Harness.run_pair ?obs ~defense
     (Guests.apache_server ~size ())
     (Guests.apache_client ~size ~requests ())
 
 let apache_normalized ~defense ~size ~requests =
-  let base = run_apache ~defense:Defense.unprotected ~size ~requests in
-  let prot = run_apache ~defense ~size ~requests in
+  let base = run_apache ~defense:Defense.unprotected ~size ~requests () in
+  let prot = run_apache ~defense ~size ~requests () in
   Harness.normalized ~baseline:base prot
 
 let single_normalized ~defense image =
@@ -33,22 +33,22 @@ let single_normalized ~defense image =
   let prot = Harness.run_single ~defense image in
   Harness.normalized ~baseline:base prot
 
-let run_gzip ~defense ~size =
-  Harness.run_pair ~defense ~capacity:4096
+let run_gzip ?obs ~defense ~size () =
+  Harness.run_pair ?obs ~defense ~capacity:4096
     (Guests.gzip_disk ~size ~block:4096 ())
     (Guests.gzip ~size ())
 
 let gzip_normalized ~defense ~size =
-  let base = run_gzip ~defense:Defense.unprotected ~size in
-  let prot = run_gzip ~defense ~size in
+  let base = run_gzip ~defense:Defense.unprotected ~size () in
+  let prot = run_gzip ~defense ~size () in
   Harness.normalized ~baseline:base prot
 
-let run_ctxsw ~defense ~iters =
-  Harness.run_pair ~defense (Guests.ctxsw_ping ~iters ()) (Guests.ctxsw_pong ())
+let run_ctxsw ?obs ~defense ~iters () =
+  Harness.run_pair ?obs ~defense (Guests.ctxsw_ping ~iters ()) (Guests.ctxsw_pong ())
 
 let ctxsw_normalized ~defense ~iters =
-  let base = run_ctxsw ~defense:Defense.unprotected ~iters in
-  let prot = run_ctxsw ~defense ~iters in
+  let base = run_ctxsw ~defense:Defense.unprotected ~iters () in
+  let prot = run_ctxsw ~defense ~iters () in
   Harness.normalized ~baseline:base prot
 
 (* nbench reports per-test scores; the paper quotes the slowest. *)
@@ -162,8 +162,8 @@ let itlb_method_ablation ?(iters = 250) () =
    software-TLB port, and the §3.3.1 dual-pagetable hardware. *)
 let mechanisms_ablation ?(iters = ctxsw_iters) () =
   let ratio ~base ~prot =
-    let b = run_ctxsw ~defense:base ~iters in
-    let p = run_ctxsw ~defense:prot ~iters in
+    let b = run_ctxsw ~defense:base ~iters () in
+    let p = run_ctxsw ~defense:prot ~iters () in
     Harness.normalized ~baseline:b p
   in
   [
@@ -177,8 +177,8 @@ let mechanisms_ablation ?(iters = ctxsw_iters) () =
 
 let soft_tlb_ablation ?(iters = ctxsw_iters) () =
   let ratio ~base ~prot =
-    let b = run_ctxsw ~defense:base ~iters in
-    let p = run_ctxsw ~defense:prot ~iters in
+    let b = run_ctxsw ~defense:base ~iters () in
+    let p = run_ctxsw ~defense:prot ~iters () in
     Harness.normalized ~baseline:b p
   in
   let desync = ratio ~base:Defense.unprotected ~prot:Defense.split_standalone in

@@ -8,12 +8,13 @@ val gzip_size : int
 val nbench_iters : int
 val ctxsw_iters : int
 
-val run_apache : defense:Defense.t -> size:int -> requests:int -> Harness.result
+val run_apache :
+  ?obs:Obs.t -> defense:Defense.t -> size:int -> requests:int -> unit -> Harness.result
 val apache_normalized : defense:Defense.t -> size:int -> requests:int -> float
 val single_normalized : defense:Defense.t -> Kernel.Image.t -> float
-val run_gzip : defense:Defense.t -> size:int -> Harness.result
+val run_gzip : ?obs:Obs.t -> defense:Defense.t -> size:int -> unit -> Harness.result
 val gzip_normalized : defense:Defense.t -> size:int -> float
-val run_ctxsw : defense:Defense.t -> iters:int -> Harness.result
+val run_ctxsw : ?obs:Obs.t -> defense:Defense.t -> iters:int -> unit -> Harness.result
 val ctxsw_normalized : defense:Defense.t -> iters:int -> float
 
 val nbench_results : defense:Defense.t -> (string * float) list

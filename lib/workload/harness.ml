@@ -37,19 +37,31 @@ let finish ~label ~defense k ~fuel =
   | Kernel.Os.All_blocked -> raise (Did_not_finish (label ^ ": deadlocked"))
   | Kernel.Os.Fuel_exhausted -> raise (Did_not_finish (label ^ ": fuel exhausted"))
 
-let run_single ?(frames = 16384) ?(fuel = 100_000_000) ?(eager = false) ~defense image =
+let run_single_k ?(frames = 16384) ?(fuel = 100_000_000) ?(eager = false)
+    ?(obs = Obs.null) ~defense image =
   let protection = Defense.to_protection defense in
-  let k = Kernel.Os.create ~frames ~tlb_fill:(Defense.tlb_fill defense) ~protection () in
+  let k =
+    Kernel.Os.create ~frames ~tlb_fill:(Defense.tlb_fill defense) ~obs ~protection ()
+  in
   let _p = Kernel.Os.spawn ~eager k image in
-  finish ~label:image.Kernel.Image.name ~defense:(Defense.name defense) k ~fuel
+  (finish ~label:image.Kernel.Image.name ~defense:(Defense.name defense) k ~fuel, k)
 
-let run_pair ?(frames = 16384) ?(fuel = 100_000_000) ?capacity ~defense server client =
+let run_single ?frames ?fuel ?eager ?obs ~defense image =
+  fst (run_single_k ?frames ?fuel ?eager ?obs ~defense image)
+
+let run_pair_k ?(frames = 16384) ?(fuel = 100_000_000) ?capacity ?(obs = Obs.null)
+    ~defense server client =
   let protection = Defense.to_protection defense in
-  let k = Kernel.Os.create ~frames ~tlb_fill:(Defense.tlb_fill defense) ~protection () in
+  let k =
+    Kernel.Os.create ~frames ~tlb_fill:(Defense.tlb_fill defense) ~obs ~protection ()
+  in
   let s = Kernel.Os.spawn k server in
   let c = Kernel.Os.spawn k client in
   Kernel.Os.connect ?capacity k s c;
-  finish ~label:server.Kernel.Image.name ~defense:(Defense.name defense) k ~fuel
+  (finish ~label:server.Kernel.Image.name ~defense:(Defense.name defense) k ~fuel, k)
+
+let run_pair ?frames ?fuel ?capacity ?obs ~defense server client =
+  fst (run_pair_k ?frames ?fuel ?capacity ?obs ~defense server client)
 
 (* Performance relative to the unprotected baseline: >1 never happens in
    practice; 0.9 means "runs at 90% of full speed" as in the paper's

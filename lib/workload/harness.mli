@@ -20,18 +20,46 @@ exception Did_not_finish of string
 (** Raised when a workload deadlocks or exhausts its fuel. *)
 
 val run_single :
-  ?frames:int -> ?fuel:int -> ?eager:bool -> defense:Defense.t -> Kernel.Image.t -> result
+  ?frames:int ->
+  ?fuel:int ->
+  ?eager:bool ->
+  ?obs:Obs.t ->
+  defense:Defense.t ->
+  Kernel.Image.t ->
+  result
+
+val run_single_k :
+  ?frames:int ->
+  ?fuel:int ->
+  ?eager:bool ->
+  ?obs:Obs.t ->
+  defense:Defense.t ->
+  Kernel.Image.t ->
+  result * Kernel.Os.t
+(** Like {!run_single}, but also returns the kernel, whose trace/metric
+    state ([obs]) and hardware statistics remain inspectable. *)
 
 val run_pair :
   ?frames:int ->
   ?fuel:int ->
   ?capacity:int ->
+  ?obs:Obs.t ->
   defense:Defense.t ->
   Kernel.Image.t ->
   Kernel.Image.t ->
   result
 (** Spawn two images, cross-wire their consoles ([capacity] bounds the
     pipes, forcing blocking I/O), run to completion. *)
+
+val run_pair_k :
+  ?frames:int ->
+  ?fuel:int ->
+  ?capacity:int ->
+  ?obs:Obs.t ->
+  defense:Defense.t ->
+  Kernel.Image.t ->
+  Kernel.Image.t ->
+  result * Kernel.Os.t
 
 val normalized : baseline:result -> result -> float
 (** [baseline.cycles / result.cycles]: 0.9 = "runs at 90% of full speed",

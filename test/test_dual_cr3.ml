@@ -37,13 +37,13 @@ let test_observe_mode () =
     (match o with Attack.Runner.Shell_spawned { detected_first = true } -> true | _ -> false)
 
 let test_no_runtime_overhead_machinery () =
-  let r = Workload.Figures.run_ctxsw ~defense:Defense.split_dual_cr3 ~iters:40 in
+  let r = Workload.Figures.run_ctxsw ~defense:Defense.split_dual_cr3 ~iters:40 () in
   Alcotest.(check int) "no split faults" 0 r.split_faults;
   Alcotest.(check int) "no single steps" 0 r.single_steps
 
 let test_near_free () =
-  let base = Workload.Figures.run_ctxsw ~defense:Defense.unprotected ~iters:80 in
-  let prot = Workload.Figures.run_ctxsw ~defense:Defense.split_dual_cr3 ~iters:80 in
+  let base = Workload.Figures.run_ctxsw ~defense:Defense.unprotected ~iters:80 () in
+  let prot = Workload.Figures.run_ctxsw ~defense:Defense.split_dual_cr3 ~iters:80 () in
   let ratio = Workload.Harness.normalized ~baseline:base prot in
   Alcotest.(check bool) (Fmt.str "ratio %.3f >= 0.98" ratio) true (ratio >= 0.98)
 

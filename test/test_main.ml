@@ -21,4 +21,5 @@ let () =
       ("edges", Test_edges.suite);
       ("hw-pagetable", Test_hw_pagetable.suite);
       ("dynlib", Test_dynlib.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -50,7 +50,7 @@ let test_observe_mode_works () =
     <> None)
 
 let test_no_single_stepping () =
-  let r = Workload.Figures.run_ctxsw ~defense:Defense.split_soft_tlb ~iters:30 in
+  let r = Workload.Figures.run_ctxsw ~defense:Defense.split_soft_tlb ~iters:30 () in
   Alcotest.(check int) "no single-step ITLB loads" 0 r.single_steps;
   Alcotest.(check int) "no x86 split faults" 0 r.split_faults
 
@@ -61,7 +61,7 @@ let test_lower_overhead_than_desync () =
     true (soft > desync +. 0.2)
 
 let test_workloads_run () =
-  let r = Workload.Figures.run_gzip ~defense:Defense.split_soft_tlb ~size:8192 in
+  let r = Workload.Figures.run_gzip ~defense:Defense.split_soft_tlb ~size:8192 () in
   Alcotest.(check bool) "gzip completes" true (r.cycles > 0)
 
 let suite =

@@ -15,9 +15,9 @@ let check_terminates name run =
 
 let test_all_guests_terminate () =
   check_terminates "apache" (fun d ->
-      Workload.Figures.run_apache ~defense:d ~size:2048 ~requests:3);
-  check_terminates "gzip" (fun d -> Workload.Figures.run_gzip ~defense:d ~size:8192);
-  check_terminates "ctxsw" (fun d -> Workload.Figures.run_ctxsw ~defense:d ~iters:10);
+      Workload.Figures.run_apache ~defense:d ~size:2048 ~requests:3 ());
+  check_terminates "gzip" (fun d -> Workload.Figures.run_gzip ~defense:d ~size:8192 ());
+  check_terminates "ctxsw" (fun d -> Workload.Figures.run_ctxsw ~defense:d ~iters:10 ());
   check_terminates "nbench" (fun d ->
       Workload.Harness.run_single ~defense:d (Workload.Guests.nbench ~iters:3 ()));
   check_terminates "syscall" (fun d ->
@@ -30,8 +30,8 @@ let test_all_guests_terminate () =
       Workload.Harness.run_single ~defense:d (Workload.Guests.fscopy ~passes:1 ~size:4096 ()))
 
 let test_protection_costs_cycles () =
-  let base = Workload.Figures.run_ctxsw ~defense:Defense.unprotected ~iters:20 in
-  let prot = Workload.Figures.run_ctxsw ~defense:Defense.split_standalone ~iters:20 in
+  let base = Workload.Figures.run_ctxsw ~defense:Defense.unprotected ~iters:20 () in
+  let prot = Workload.Figures.run_ctxsw ~defense:Defense.split_standalone ~iters:20 () in
   Alcotest.(check bool) "protected is slower" true (prot.cycles > base.cycles);
   Alcotest.(check bool) "same instructions retired" true (prot.insns = base.insns);
   Alcotest.(check bool) "split faults occurred" true (prot.split_faults > 0);
