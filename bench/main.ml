@@ -309,6 +309,65 @@ let micro () =
          tbl))
     tests
 
+(* --- snapshot/restore throughput (lib/snap) ------------------------------ *)
+
+let snap_exp () =
+  let scenario name =
+    match Snap.Scenario.find name with Some s -> s | None -> assert false
+  in
+  let s = scenario "benign" in
+  let os = s.start () in
+  ignore (Kernel.Os.run ~fuel:1500 os : Kernel.Os.stop_reason);
+  let snap = Snap.Snapshot.checkpoint os in
+  let blob = Snap.Snapshot.encode snap in
+  let mib = float_of_int (String.length blob) /. 1048576. in
+  let time_n n f =
+    let t0 = Sys.time () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Sys.time () -. t0) /. float_of_int n
+  in
+  let n = 200 in
+  let t_ckpt = time_n n (fun () -> ignore (Snap.Snapshot.checkpoint os : Snap.Snapshot.t)) in
+  let t_enc = time_n n (fun () -> ignore (Snap.Snapshot.encode snap : string)) in
+  let t_dec = time_n n (fun () -> ignore (Snap.Snapshot.decode blob : Snap.Snapshot.t)) in
+  let t_rest = time_n n (fun () -> Snap.Snapshot.restore os snap) in
+  out
+    "Snapshot/restore microbenchmarks (benign scenario at cycle %d; %d frames\n\
+     written, %d all-zero skipped; %.2f MiB encoded; %d iterations):"
+    (Snap.Snapshot.cycle snap)
+    (Snap.Snapshot.frames_written snap)
+    (Snap.Snapshot.frames_sparse_skipped snap)
+    mib n;
+  out "  checkpoint %8.3f ms/op    restore %8.3f ms/op" (t_ckpt *. 1e3) (t_rest *. 1e3);
+  out "  encode     %8.1f MiB/s    decode  %8.1f MiB/s" (mib /. t_enc) (mib /. t_dec);
+  (* Warm start: resuming from the checkpoint skips the instructions behind
+     it but pays a full physical-memory rebuild, so the wall-clock win only
+     materializes on long runs; the invariant that matters is that both
+     paths end on the identical final cycle count. *)
+  let m = 20 in
+  let cold_cycles = ref 0 and warm_cycles = ref 0 in
+  let t_cold =
+    time_n m (fun () ->
+        let k = s.start () in
+        ignore (Kernel.Os.run ~fuel:2_000_000 k : Kernel.Os.stop_reason);
+        cold_cycles := (Kernel.Os.cost k).cycles)
+  in
+  let t_warm =
+    time_n m (fun () ->
+        let k = s.start () in
+        Snap.Snapshot.restore k snap;
+        ignore (Kernel.Os.run ~fuel:2_000_000 k : Kernel.Os.stop_reason);
+        warm_cycles := (Kernel.Os.cost k).cycles)
+  in
+  out
+    "  warm start: cold run %.3f ms vs restore+resume %.3f ms (%.2fx);\n\
+     \  both end at cycle %d (warm %d) from checkpoint cycle %d"
+    (t_cold *. 1e3) (t_warm *. 1e3)
+    (t_cold /. t_warm)
+    !cold_cycles !warm_cycles (Snap.Snapshot.cycle snap)
+
 (* --- calibration detail (not part of the reproduction output) ----------- *)
 
 let calib () =
@@ -407,6 +466,7 @@ let () =
     | "ablation" -> ablation ()
     | "limitations" -> limitations ()
     | "micro" -> micro ()
+    | "snap" -> snap_exp ()
     | "calib" -> calib ()
     | "all" -> all_reproduction ()
     | other -> Fmt.epr "unknown experiment %S@." other

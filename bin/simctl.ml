@@ -349,10 +349,226 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"Print a victim image's segments and labels.")
     Term.(const run $ image_arg)
 
+(* snapshot / restore / replay / diff commands (lib/snap) *)
+
+let scenario_arg =
+  let scen =
+    Arg.enum (List.map (fun (s : Snap.Scenario.t) -> (s.name, s)) Snap.Scenario.all)
+  in
+  Arg.(
+    required
+    & pos 0 (some scen) None
+    & info [] ~docv:"SCENARIO"
+        ~doc:(Fmt.str "One of: %s." (String.concat ", " Snap.Scenario.names)))
+
+let stop_name : Kernel.Os.stop_reason -> string = function
+  | All_exited -> "all-exited"
+  | All_blocked -> "all-blocked"
+  | Fuel_exhausted -> "fuel-exhausted"
+
+let save_snapshot ~obs ~file snap =
+  try Some (Snap.Snapshot.save ~obs ~file snap)
+  with Sys_error msg ->
+    Fmt.epr "simctl: cannot write snapshot: %s@." msg;
+    None
+
+let load_snapshot file =
+  try Snap.Snapshot.load file
+  with
+  | Sys_error msg ->
+    Fmt.epr "simctl: cannot read snapshot: %s@." msg;
+    exit 1
+  | Snap.Codec.Corrupt msg ->
+    Fmt.epr "simctl: %s is not a valid snapshot: %s@." file msg;
+    exit 1
+
+let snap_file_arg =
+  Arg.(
+    value
+    & opt string "machine.snap"
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Snapshot file to write ($(docv).manifest.json rides along).")
+
+let fuel_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "fuel" ] ~docv:"INSNS" ~doc)
+
+let snapshot_cmd =
+  let run metrics trace chrome (scenario : Snap.Scenario.t) fuel file =
+    let obs = make_obs ~metrics ~trace ~chrome in
+    let os = scenario.start ~obs () in
+    let stop = Kernel.Os.run ~fuel os in
+    let snap =
+      Snap.Snapshot.checkpoint
+        ~meta:[ ("scenario", scenario.name); ("source", "simctl") ]
+        os
+    in
+    (match save_snapshot ~obs ~file snap with
+    | None -> exit 1
+    | Some bytes ->
+      Fmt.pr "snapshot: %s at cycle %d (%s), %d bytes -> %s@." scenario.name
+        (Snap.Snapshot.cycle snap) (stop_name stop) bytes file;
+      Fmt.pr "  frames written %d, all-zero skipped %d, procs: %a@."
+        (Snap.Snapshot.frames_written snap)
+        (Snap.Snapshot.frames_sparse_skipped snap)
+        Fmt.(
+          list ~sep:comma (fun ppf (pid, name, st) -> Fmt.pf ppf "%d:%s(%s)" pid name st))
+        (Snap.Snapshot.proc_summaries snap));
+    finish_obs obs ~metrics ~trace ~chrome
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Run a canonical scenario for a bounded number of instructions and write a \
+          whole-machine snapshot (plus JSON manifest).")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ chrome_arg $ scenario_arg
+      $ fuel_arg ~default:1500
+          ~doc:"Instructions to execute before the checkpoint is taken."
+      $ snap_file_arg)
+
+let restore_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot file written by $(b,simctl snapshot).")
+  in
+  let run metrics trace chrome file fuel =
+    let snap = load_snapshot file in
+    match
+      Option.bind (Snap.Snapshot.find_meta snap "scenario") Snap.Scenario.find
+    with
+    | None ->
+      Fmt.epr "simctl: snapshot %s names no known scenario (meta: %a)@." file
+        Fmt.(list ~sep:comma (pair ~sep:(any "=") string string))
+        (Snap.Snapshot.meta snap);
+      exit 1
+    | Some scenario ->
+      let obs = make_obs ~metrics ~trace ~chrome in
+      let os = scenario.start ~obs () in
+      Snap.Snapshot.restore os snap;
+      Fmt.pr "restored %s (scenario %s) at cycle %d; resuming@." file scenario.name
+        (Snap.Snapshot.cycle snap);
+      let stop = Kernel.Os.run ~fuel os in
+      Fmt.pr "stopped: %s@." (stop_name stop);
+      Fmt.pr "--- kernel log ---@.%a@." Kernel.Event_log.pp (Kernel.Os.log os);
+      show_machine os;
+      finish_obs obs ~metrics ~trace ~chrome
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Load a snapshot into a fresh machine built by the scenario recorded in its \
+          manifest, then resume execution to completion.")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ chrome_arg $ file_arg
+      $ fuel_arg ~default:2_000_000 ~doc:"Instruction budget for the resumed run.")
+
+let replay_cmd =
+  let snap_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also save the mid-run checkpoint to $(docv).")
+  in
+  let run metrics trace chrome (scenario : Snap.Scenario.t) fuel_to_checkpoint out =
+    let obs = make_obs ~metrics ~trace ~chrome in
+    let os = scenario.start ~obs () in
+    let report, snap = Snap.Replay.check ~fuel_to_checkpoint os in
+    Fmt.pr "%s: %a@." scenario.name Snap.Replay.pp report;
+    Option.iter
+      (fun file ->
+        Option.iter
+          (fun bytes -> Fmt.pr "checkpoint: %d bytes -> %s@." bytes file)
+          (save_snapshot ~obs ~file snap))
+      out;
+    finish_obs obs ~metrics ~trace ~chrome;
+    if not (Snap.Replay.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Determinism gate: checkpoint a scenario mid-run, finish it, restore the \
+          checkpoint and re-run — exits non-zero unless the event log and cost \
+          counters match bit-for-bit.")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ chrome_arg $ scenario_arg
+      $ fuel_arg ~default:1500
+          ~doc:"Instructions to execute before the checkpoint is taken."
+      $ snap_out_arg)
+
+let hexdump ppf s =
+  String.iteri
+    (fun i c ->
+      if i > 0 && i mod 16 = 0 then Fmt.pf ppf "@.";
+      Fmt.pf ppf "%02x " (Char.code c))
+    s
+
+let diff_cmd =
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Write capture artifacts (snapshot + manifest, payload.bin, diff.json) \
+             under $(docv).")
+  in
+  let run (scenario : Snap.Scenario.t) dir =
+    let os = scenario.start () in
+    let captures = Snap.Forensics.arm ?dir os in
+    ignore (Kernel.Os.run ~fuel:2_000_000 os : Kernel.Os.stop_reason);
+    match !captures with
+    | [] ->
+      Fmt.epr "simctl: scenario %s triggered no injection detection@." scenario.name;
+      exit 1
+    | cs ->
+      List.iter
+        (fun (c : Snap.Forensics.capture) ->
+          let t = c.c_trigger in
+          Fmt.pr "detection: pid %d, eip 0x%08x, mode %s, cycle %d@." t.t_pid t.t_eip
+            t.t_mode
+            (Snap.Snapshot.cycle c.c_snapshot);
+          let page_size = Snap.Snapshot.page_size c.c_snapshot in
+          let page_base = t.t_eip land lnot (page_size - 1) in
+          Option.iter
+            (fun (d : Snap.Forensics.page_diff) ->
+              Fmt.pr "page diff: vpn %d, code frame %d vs data frame %d, %d range(s)@."
+                d.pd_vpn d.pd_code_frame d.pd_data_frame (List.length d.pd_ranges))
+            c.c_diff;
+          Fmt.pr "injected payload: %d bytes at 0x%08x@.%a@." (String.length c.c_payload)
+            (page_base + c.c_payload_off)
+            hexdump c.c_payload;
+          Fmt.pr "--- disassembly ---@.%s@."
+            (Isa.Disasm.to_string ~base:(page_base + c.c_payload_off) c.c_payload ~pos:0
+               ~len:(String.length c.c_payload));
+          Option.iter (fun d -> Fmt.pr "artifacts -> %s@." d) c.c_dir)
+        cs
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Run an attack scenario with forensic capture armed; on detection, diff the \
+          faulting page's code copy against its data copy and print the extracted \
+          payload with its disassembly.")
+    Term.(const run $ scenario_arg $ dir_arg)
+
 let main =
   Cmd.group
     (Cmd.info "simctl" ~version:"1.0.0"
        ~doc:"Split-memory virtual Harvard architecture simulator control tool.")
-    [ attack_cmd; grid_cmd; workload_cmd; stats_cmd; disasm_cmd; layout_cmd ]
+    [
+      attack_cmd;
+      grid_cmd;
+      workload_cmd;
+      stats_cmd;
+      disasm_cmd;
+      layout_cmd;
+      snapshot_cmd;
+      restore_cmd;
+      replay_cmd;
+      diff_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,9 +1,11 @@
-(* Forensics: the response mode of paper §4.5.3 / §6.1.3. The kernel
-   detects the injection right before the first injected instruction
-   executes, dumps the shellcode bytes found at EIP on the data copy, and
-   optionally substitutes its own "forensic shellcode" (here the paper's
-   demo payload, exit(0)) so the process terminates gracefully instead of
-   segfaulting.
+(* Forensics: the response mode of paper §4.5.3 / §6.1.3, upgraded to the
+   lib/snap capture path. The kernel detects the injection right before the
+   first injected instruction executes; Snap.Forensics freezes the whole
+   machine into a snapshot at that instant, diffs the faulting page's
+   pristine code copy against its data copy, and extracts the injected
+   payload from the diff. The second half shows the paper's own demo: the
+   kernel substituting an exit(0) "forensic shellcode" so the victim
+   terminates gracefully instead of segfaulting.
 
    Run with: dune exec examples/forensics_demo.exe *)
 
@@ -13,22 +15,42 @@ let dump_events k =
     (Kernel.Event_log.to_list (Kernel.Os.log k))
 
 let () =
-  Fmt.pr "=== forensics: dump and terminate ===@.";
-  let defense =
-    Defense.split_with ~response:(Split_memory.Response.Forensics { payload = None }) ()
+  Fmt.pr "=== forensic capture at the detection instant (lib/snap) ===@.";
+  let scenario =
+    match Snap.Scenario.find "attack-break" with
+    | Some s -> s
+    | None -> assert false
   in
-  let outcome, s = Attack.Realworld.run_wuftpd ~defense () in
-  Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name outcome);
-  dump_events s.k;
-  (match
-     Kernel.Event_log.find_first (Kernel.Os.log s.k) (function
-       | Kernel.Event_log.Shellcode_dump _ -> true
-       | _ -> false)
-   with
-  | Some (Kernel.Event_log.Shellcode_dump { bytes; eip; _ }) ->
-    Fmt.pr "@.disassembly of the captured shellcode:@.%s@."
-      (Isa.Disasm.to_string ~base:eip bytes ~pos:0 ~len:(String.length bytes))
-  | Some _ | None -> ());
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "forensics_demo" in
+  let os = scenario.start () in
+  let captures = Snap.Forensics.arm ~dir os in
+  ignore (Kernel.Os.run ~fuel:2_000_000 os : Kernel.Os.stop_reason);
+  (match !captures with
+  | [] -> Fmt.pr "no detection (unexpected)@."
+  | c :: _ ->
+    let t = c.Snap.Forensics.c_trigger in
+    Fmt.pr "detection: pid %d at eip 0x%08x (%s response), cycle %d@." t.t_pid
+      t.t_eip t.t_mode
+      (Snap.Snapshot.cycle c.c_snapshot);
+    Option.iter
+      (fun (d : Snap.Forensics.page_diff) ->
+        Fmt.pr "page diff: vpn %d — code copy (frame %d) vs data copy (frame %d)@."
+          d.pd_vpn d.pd_code_frame d.pd_data_frame)
+      c.c_diff;
+    let page_size = Snap.Snapshot.page_size c.c_snapshot in
+    let base = (t.t_eip land lnot (page_size - 1)) + c.c_payload_off in
+    Fmt.pr "extracted %d injected bytes; disassembly:@.%s@."
+      (String.length c.c_payload)
+      (Isa.Disasm.to_string ~base c.c_payload ~pos:0
+         ~len:(String.length c.c_payload));
+    Option.iter
+      (fun d ->
+        Fmt.pr "artifacts (whole-machine snapshot + manifest, payload, diff) -> %s@." d)
+      c.c_dir;
+    Fmt.pr "@.kernel log inside the frozen snapshot:@.";
+    let os2 = scenario.start () in
+    Snap.Snapshot.restore os2 c.c_snapshot;
+    dump_events os2);
 
   Fmt.pr "@.=== forensics: inject exit(0) shellcode (paper's demo) ===@.";
   let defense =

@@ -46,6 +46,27 @@ let to_string t ~frame =
   check t frame 0 t.page_size;
   Bytes.to_string t.frames.(frame)
 
+let is_zero_frame t ~frame =
+  check t frame 0 t.page_size;
+  let b = t.frames.(frame) in
+  let n = t.page_size in
+  let words = n - (n land 7) in
+  let rec go_words i =
+    i >= words || (Bytes.get_int64_ne b i = 0L && go_words (i + 8))
+  in
+  let rec go_bytes i = i >= n || (Bytes.unsafe_get b i = '\000' && go_bytes (i + 1)) in
+  go_words 0 && go_bytes words
+
+let blit_to_bytes t ~frame dst =
+  check t frame 0 t.page_size;
+  if Bytes.length dst < t.page_size then invalid_arg "Phys.blit_to_bytes: dst too small";
+  Bytes.blit t.frames.(frame) 0 dst 0 t.page_size
+
+let blit_from_bytes t ~frame src ~len =
+  check t frame 0 len;
+  if len > Bytes.length src then invalid_arg "Phys.blit_from_bytes: len > src";
+  Bytes.blit src 0 t.frames.(frame) 0 len
+
 let copy_frame t ~src ~dst =
   check t src 0 t.page_size;
   check t dst 0 t.page_size;

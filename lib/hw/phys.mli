@@ -27,6 +27,16 @@ val to_string : t -> frame:int -> string
 val copy_frame : t -> src:int -> dst:int -> unit
 (** Duplicate a frame — used when splitting a page into code/data copies. *)
 
+val is_zero_frame : t -> frame:int -> bool
+(** True when every byte of the frame is zero — lets serializers skip it. *)
+
+val blit_to_bytes : t -> frame:int -> Bytes.t -> unit
+(** Copy a whole frame into the first [page_size] bytes of a caller-owned
+    buffer, avoiding the per-call allocation of {!to_string}. *)
+
+val blit_from_bytes : t -> frame:int -> Bytes.t -> len:int -> unit
+(** Overwrite the first [len] bytes of a frame from a caller-owned buffer. *)
+
 val addr : t -> frame:int -> off:int -> int
 val frame_of_addr : t -> int -> int
 val off_of_addr : t -> int -> int

@@ -71,6 +71,48 @@ let flush t =
   Queue.clear t.fifo;
   t.stats.flushes <- t.stats.flushes + 1
 
+(* Raw state export for snapshots. The FIFO queue is exported verbatim
+   (front first) rather than reconstructed from the live table: it may hold
+   stale or duplicate vpns, and replaying eviction order bit-for-bit after a
+   restore requires preserving exactly that raw sequence. Entries are listed
+   sorted by vpn so that logically identical TLBs export identically
+   regardless of hashtable history. *)
+type state = {
+  s_entries : entry list;
+  s_fifo : int list;
+  s_hits : int;
+  s_misses : int;
+  s_flushes : int;
+  s_invalidations : int;
+  s_evictions : int;
+}
+
+let export t =
+  let entries =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+    |> List.sort (fun a b -> compare a.vpn b.vpn)
+  in
+  {
+    s_entries = entries;
+    s_fifo = List.of_seq (Queue.to_seq t.fifo);
+    s_hits = t.stats.hits;
+    s_misses = t.stats.misses;
+    s_flushes = t.stats.flushes;
+    s_invalidations = t.stats.invalidations;
+    s_evictions = t.stats.evictions;
+  }
+
+let import t (s : state) =
+  Hashtbl.reset t.table;
+  Queue.clear t.fifo;
+  List.iter (fun e -> Hashtbl.replace t.table e.vpn e) s.s_entries;
+  List.iter (fun vpn -> Queue.add vpn t.fifo) s.s_fifo;
+  t.stats.hits <- s.s_hits;
+  t.stats.misses <- s.s_misses;
+  t.stats.flushes <- s.s_flushes;
+  t.stats.invalidations <- s.s_invalidations;
+  t.stats.evictions <- s.s_evictions
+
 let hit_rate t =
   let total = t.stats.hits + t.stats.misses in
   if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total

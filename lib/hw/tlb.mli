@@ -40,6 +40,23 @@ val invalidate : t -> int -> unit
 val flush : t -> unit
 (** Drop everything — what a CR3 reload (context switch) does. *)
 
+type state = {
+  s_entries : entry list;  (** live entries, sorted by vpn *)
+  s_fifo : int list;  (** raw FIFO replacement queue, front first *)
+  s_hits : int;
+  s_misses : int;
+  s_flushes : int;
+  s_invalidations : int;
+  s_evictions : int;
+}
+(** Complete serializable TLB state. The raw FIFO queue (which may contain
+    stale or duplicate vpns) is preserved so a restored TLB reproduces the
+    original's future eviction order exactly. *)
+
+val export : t -> state
+val import : t -> state -> unit
+(** Replace the TLB's contents and statistics with [state]. *)
+
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 before any lookup. *)
 

@@ -54,18 +54,25 @@ let walk_data_view t vpn =
     (pte t vpn)
 
 (* Contents a freshly demand-mapped page should start with: the matching
-   slice of the backing image segment (zero-padded), or zeros. *)
-let page_content t region vpn =
+   slice of the backing image segment (zero-padded), or zeros. The blit
+   variant writes into a caller-owned scratch buffer so the demand-paging
+   hot path allocates nothing per fault. *)
+let blit_page_content t region vpn buf =
+  if Bytes.length buf < t.page_size then invalid_arg "Aspace.blit_page_content: buf too small";
+  Bytes.fill buf 0 t.page_size '\000';
   match region.source with
-  | Zero -> String.make t.page_size '\000'
+  | Zero -> ()
   | Image_bytes { base; bytes } ->
     let page_start = (vpn * t.page_size) - base in
-    let buf = Bytes.make t.page_size '\000' in
     let src_from = max 0 page_start in
     let dst_from = src_from - page_start in
     let len = min (String.length bytes - src_from) (t.page_size - dst_from) in
-    if len > 0 then Bytes.blit_string bytes src_from buf dst_from len;
-    Bytes.to_string buf
+    if len > 0 then Bytes.blit_string bytes src_from buf dst_from len
+
+let page_content t region vpn =
+  let buf = Bytes.create t.page_size in
+  blit_page_content t region vpn buf;
+  Bytes.to_string buf
 
 let vpn_of_addr t addr = addr / t.page_size
 let page_base t vpn = vpn * t.page_size

@@ -47,5 +47,9 @@ val walk_data_view : t -> int -> Hw.Mmu.hw_pte option
 val page_content : t -> region -> int -> string
 (** Initial contents for demand-mapping [vpn] of [region]. *)
 
+val blit_page_content : t -> region -> int -> Bytes.t -> unit
+(** Allocation-free variant: write the initial contents of [vpn] into the
+    first [page_size] bytes of a caller-owned scratch buffer. *)
+
 val vpn_of_addr : t -> int -> int
 val page_base : t -> int -> int

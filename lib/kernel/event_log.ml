@@ -45,11 +45,16 @@ let tag = function
   | Library_rejected _ -> "library_rejected"
   | Note _ -> "note"
 
-type t = { mutable events : event list; mutable obs : Obs.t }
+type t = {
+  mutable events : event list;
+  mutable obs : Obs.t;
+  mutable subscribers : (event -> unit) list;
+}
 
-let create () = { events = []; obs = Obs.null }
+let create () = { events = []; obs = Obs.null; subscribers = [] }
 
 let attach_obs t obs = t.obs <- obs
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 
 let add t e =
   t.events <- e :: t.events;
@@ -57,7 +62,10 @@ let add t e =
      lands in the cycle-stamped trace stream when observability is on *)
   if Obs.enabled t.obs then
     Obs.event t.obs ~cat:"log" (tag e)
-      ~args:[ ("text", Obs.Json.Str (Fmt.str "%a" pp_event e)) ]
+      ~args:[ ("text", Obs.Json.Str (Fmt.str "%a" pp_event e)) ];
+  List.iter (fun f -> f e) t.subscribers
+
+let set_events t events = t.events <- List.rev events
 let note t fmt = Fmt.kstr (fun s -> add t (Note s)) fmt
 let to_list t = List.rev t.events
 let count t pred = List.length (List.filter pred (to_list t))

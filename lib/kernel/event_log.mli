@@ -31,8 +31,19 @@ val attach_obs : t -> Obs.t -> unit
     when the sink is enabled. The in-memory list and {!pp} output are
     unchanged. *)
 
+val subscribe : t -> (event -> unit) -> unit
+(** Register a callback invoked synchronously on every {!add}, after the
+    event is appended. Lets external machinery (e.g. forensic snapshotting)
+    react at the exact detection instant without the kernel depending on it.
+    Subscribers run in registration order and are never removed. *)
+
 val add : t -> event -> unit
 val note : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val set_events : t -> event list -> unit
+(** Replace the whole log, oldest first (snapshot restore). Subscribers and
+    the obs sink are untouched. *)
+
 val to_list : t -> event list
 (** Oldest first. *)
 

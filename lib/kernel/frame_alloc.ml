@@ -46,6 +46,30 @@ let decref t frame =
 
 let free_frames t = Stack.length t.free
 
+type state = {
+  s_free : int list;  (* top of stack first *)
+  s_refcount : int array;
+  s_in_use : int;
+  s_peak_in_use : int;
+}
+
+let export t =
+  {
+    s_free = List.of_seq (Stack.to_seq t.free);
+    s_refcount = Array.copy t.refcount;
+    s_in_use = t.in_use;
+    s_peak_in_use = t.peak_in_use;
+  }
+
+let import t (s : state) =
+  if Array.length s.s_refcount <> Array.length t.refcount then
+    invalid_arg "Frame_alloc.import: frame count mismatch";
+  Stack.clear t.free;
+  List.iter (fun f -> Stack.push f t.free) (List.rev s.s_free);
+  Array.blit s.s_refcount 0 t.refcount 0 (Array.length t.refcount);
+  t.in_use <- s.s_in_use;
+  t.peak_in_use <- s.s_peak_in_use
+
 (* Adjacent-pair allocation: the paper's prototype creates the two copies
    of a split page "side-by-side" so the partner is found by frame
    arithmetic (even frame = code copy, +1 = data copy). Pairs come from a

@@ -23,6 +23,21 @@ val in_use : t -> int
 val peak_in_use : t -> int
 val free_frames : t -> int
 
+type state = {
+  s_free : int list;  (** free stack, top first — preserves allocation order *)
+  s_refcount : int array;
+  s_in_use : int;
+  s_peak_in_use : int;
+}
+(** Serializable allocator state. The free list is kept in stack order so a
+    restored machine hands out the same frame numbers as the original. *)
+
+val export : t -> state
+(** Deep copy — later allocator activity does not mutate the export. *)
+
+val import : t -> state -> unit
+(** Replace the allocator's state in place (same physical memory). *)
+
 val alloc_pair : t -> int * int
 (** Allocate two side-by-side frames [(even, even+1)] — how the paper's
     prototype lays out a split page's code and data copies so the partner

@@ -33,7 +33,7 @@ type t = {
   libraries : (string, library) Hashtbl.t;
   mutable lib_cursor : int;
   runq : int Queue.t;
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
   page_size : int;
   quantum : int;
   stack_jitter_pages : int;
@@ -44,6 +44,8 @@ type t = {
   mutable ticks : int;
   obs : Obs.t;
   hot : hot option;
+  scratch : Bytes.t;  (* page-sized staging buffer for demand paging *)
+  mutable sched_hook : (unit -> unit) option;
 }
 
 (* Import the point-in-time hardware statistics as gauges, so a metrics
@@ -140,6 +142,8 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     ticks = 0;
     obs;
     hot;
+    scratch = Bytes.create page_size;
+    sched_hook = None;
   }
 
 let ctx t : Protection.ctx =
@@ -155,7 +159,12 @@ let page_size t = t.page_size
 let proc t pid = Hashtbl.find_opt t.procs pid
 let protection t = t.protection
 
-let procs t = Hashtbl.fold (fun _ p acc -> p :: acc) t.procs []
+(* pid-sorted so every traversal of the process table (wake scans, snapshot
+   serialization, reporting) is deterministic regardless of hashtable
+   history — a prerequisite for bit-exact replay after restore. *)
+let procs t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.procs []
+  |> List.sort (fun (a : Proc.t) (b : Proc.t) -> compare a.pid b.pid)
 
 (* Install a dynamic library into the system registry, assembled at the
    next prelink base. Every process that uselib()s it gets the same
@@ -192,8 +201,8 @@ let enqueue t (p : Proc.t) = Queue.add p.pid t.runq
 
 let map_demand_page t (p : Proc.t) (region : Aspace.region) vpn =
   let frame = Frame_alloc.alloc t.alloc in
-  let content = Aspace.page_content p.aspace region vpn in
-  Hw.Phys.blit_from_string t.phys ~frame ~off:0 content;
+  Aspace.blit_page_content p.aspace region vpn t.scratch;
+  Hw.Phys.blit_from_bytes t.phys ~frame t.scratch ~len:t.page_size;
   let pte = Pte.make ~vpn ~kind:region.kind ~frame ~writable:region.writable in
   if p.protected_ then t.protection.on_page_mapped (ctx t) p region pte;
   Aspace.set_pte p.aspace pte;
@@ -751,8 +760,8 @@ let handle_page_fault t (p : Proc.t) (f : Hw.Mmu.fault) =
 (* ------------------------------------------------------------------ *)
 
 let wake t =
-  Hashtbl.iter
-    (fun _ (p : Proc.t) ->
+  List.iter
+    (fun (p : Proc.t) ->
       match p.state with
       | Proc.Blocked cond ->
         let ready =
@@ -778,7 +787,7 @@ let wake t =
           enqueue t p
         end
       | Proc.Runnable | Proc.Zombie _ -> ())
-    t.procs
+    (procs t)
 
 let rec dequeue_runnable t =
   match Queue.take_opt t.runq with
@@ -886,6 +895,10 @@ let run ?(fuel = 50_000_000) t =
   let fuel = ref fuel in
   let rec loop () =
     wake t;
+    (* quantum-boundary hook: the machine is in a consistent, resumable
+       state here (no quantum in flight), which is exactly where periodic
+       checkpointing must sample it *)
+    (match t.sched_hook with Some f -> f () | None -> ());
     if !fuel <= 0 then Fuel_exhausted
     else
       match dequeue_runnable t with
@@ -896,3 +909,53 @@ let run ?(fuel = 50_000_000) t =
         loop ()
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot support: raw scheduler/system state exposure               *)
+(* ------------------------------------------------------------------ *)
+
+let set_sched_hook t hook = t.sched_hook <- hook
+let quantum t = t.quantum
+
+type sched_state = {
+  s_runq : int list;  (* front of the queue first *)
+  s_rng : Random.State.t;
+  s_last_running : int option;
+  s_next_pid : int;
+  s_next_tick : int;
+  s_ticks : int;
+  s_lib_cursor : int;
+}
+
+let sched_state t =
+  {
+    s_runq = List.of_seq (Queue.to_seq t.runq);
+    s_rng = Random.State.copy t.rng;
+    s_last_running = t.last_running;
+    s_next_pid = t.next_pid;
+    s_next_tick = t.next_tick;
+    s_ticks = t.ticks;
+    s_lib_cursor = t.lib_cursor;
+  }
+
+let restore_sched_state t (s : sched_state) =
+  Queue.clear t.runq;
+  List.iter (fun pid -> Queue.add pid t.runq) s.s_runq;
+  t.rng <- Random.State.copy s.s_rng;
+  t.last_running <- s.s_last_running;
+  t.next_pid <- s.s_next_pid;
+  t.next_tick <- s.s_next_tick;
+  t.ticks <- s.s_ticks;
+  t.lib_cursor <- s.s_lib_cursor
+
+let libraries t =
+  Hashtbl.fold (fun name lib acc -> (name, lib) :: acc) t.libraries []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let restore_libraries t libs =
+  Hashtbl.reset t.libraries;
+  List.iter (fun (name, lib) -> Hashtbl.replace t.libraries name lib) libs
+
+let replace_procs t ps =
+  Hashtbl.reset t.procs;
+  List.iter (fun (p : Proc.t) -> Hashtbl.replace t.procs p.pid p) ps

@@ -102,3 +102,42 @@ val read_cstring : t -> Proc.t -> int -> max:int -> string
 val load_pagetables : t -> Proc.t -> unit
 val map_demand_page : t -> Proc.t -> Aspace.region -> int -> Pte.t
 val cow_service : t -> Pte.t -> unit
+
+(** {2 Snapshot support}
+
+    Raw state exposure consumed by [lib/snap]. These accessors export and
+    replace whole-machine bookkeeping; they are not meant for normal kernel
+    clients. *)
+
+val quantum : t -> int
+
+val set_sched_hook : t -> (unit -> unit) option -> unit
+(** Install a callback invoked at every scheduler-loop boundary (after
+    {!wake}, before dispatch) — the only points where the machine state is
+    quiescent and a periodic checkpoint can be taken safely. *)
+
+type sched_state = {
+  s_runq : int list;  (** run queue, front first *)
+  s_rng : Random.State.t;  (** deep copy of the kernel PRNG *)
+  s_last_running : int option;
+  s_next_pid : int;
+  s_next_tick : int;
+  s_ticks : int;
+  s_lib_cursor : int;
+}
+
+val sched_state : t -> sched_state
+(** Deep copy of scheduler/loader bookkeeping. *)
+
+val restore_sched_state : t -> sched_state -> unit
+
+type library = { lib_base : int; code : string; lib_signature : int }
+
+val libraries : t -> (string * library) list
+(** Registered dynamic libraries, sorted by name. *)
+
+val restore_libraries : t -> (string * library) list -> unit
+
+val replace_procs : t -> Proc.t list -> unit
+(** Replace the whole process table (snapshot restore). Does not touch the
+    run queue — pair with {!restore_sched_state}. *)

@@ -56,3 +56,30 @@ let read t ~max =
   s
 
 let drain t = read t ~max:(level t)
+
+type state = {
+  s_name : string;
+  s_capacity : int;
+  s_pending : string;  (* buffered-but-unread bytes *)
+  s_readers : int;
+  s_writers : int;
+  s_bytes_written : int;
+}
+
+let export t =
+  {
+    s_name = t.name;
+    s_capacity = t.capacity;
+    s_pending = Buffer.sub t.buf t.read_pos (level t);
+    s_readers = t.readers;
+    s_writers = t.writers;
+    s_bytes_written = t.bytes_written;
+  }
+
+let import (s : state) =
+  let t = create ~capacity:s.s_capacity ~name:s.s_name () in
+  Buffer.add_string t.buf s.s_pending;
+  t.readers <- s.s_readers;
+  t.writers <- s.s_writers;
+  t.bytes_written <- s.s_bytes_written;
+  t

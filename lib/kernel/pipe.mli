@@ -28,3 +28,18 @@ val read : t -> max:int -> string
 
 val drain : t -> string
 (** Consume everything buffered. *)
+
+type state = {
+  s_name : string;
+  s_capacity : int;
+  s_pending : string;  (** buffered-but-unread bytes *)
+  s_readers : int;
+  s_writers : int;
+  s_bytes_written : int;
+}
+(** Serializable pipe state. Consumed bytes are not preserved — only the
+    unread window, endpoint counts and the throughput counter. *)
+
+val export : t -> state
+val import : state -> t
+(** Build a fresh pipe holding exactly the exported state. *)

@@ -1,0 +1,109 @@
+open Isa.Asm
+open Isa.Reg
+
+type t = {
+  name : string;
+  descr : string;
+  defense : Defense.t;
+  start : ?obs:Obs.t -> unit -> Kernel.Os.t;
+}
+
+(* A benign server-ish workload: a load/modify/store loop over the data
+   segment, a console write, then a clean exit. Long enough (~2500 insns)
+   that a default-fuel checkpoint lands mid-loop. *)
+let benign_image () =
+  Kernel.Image.build ~name:"benign-loop"
+    ~data:(fun ~lbl:_ -> [ L "buf"; Bytes "tick"; Space 60 ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (ECX, 600));
+        I (Mov_ri (EBX, lbl "buf"));
+        L "loop";
+        I (Load (EAX, EBX, 0));
+        I (Add_ri (EAX, 3));
+        I (Store (EBX, 0, EAX));
+        I (Add_ri (ECX, -1));
+        I (Cmp_ri (ECX, 0));
+        I (Jnz (Lbl "loop"));
+      ]
+      @ Guest.sys_write_imm ~buf:(lbl "buf") ~len:4 ()
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* The injection victim: read attacker bytes into a writable data-segment
+   buffer, spin a little (so mid-run checkpoints land before detonation),
+   then jump into the buffer — the classic injected-code detonation the
+   split defense intercepts at the first fetched byte. *)
+let victim_image () =
+  Kernel.Image.build ~name:"inject-victim"
+    ~data:(fun ~lbl:_ -> [ L "buf"; Space 128 ])
+    ~code:(fun ~lbl ->
+      (L "main" :: Guest.sys_read_imm ~buf:(lbl "buf") ~len:128)
+      @ [
+          I (Mov_ri (ECX, 500));
+          L "spin";
+          I (Add_ri (ECX, -1));
+          I (Cmp_ri (ECX, 0));
+          I (Jnz (Lbl "spin"));
+          I (Mov_ri (ESI, lbl "buf"));
+          I (Jmp_r ESI);
+        ])
+    ~entry:"main" ()
+
+let victim = victim_image ()
+let payload_landing = Hashtbl.find victim.labels "buf"
+
+(* execve("/bin/sh") + exit, assembled for the landing address, with a
+   trailing NOP so the payload ends on a nonzero byte: the code copy the
+   diff runs against is zero-filled, and a zero tail would be invisible to
+   it. Interior zero runs (imm32 operands, the "/bin/sh" terminator) stay
+   within Forensics.gap_tolerance. *)
+let injected_payload =
+  Attack.Shellcode.execve_bin_sh ~sled:8 ~base:payload_landing () ^ "\x90"
+
+let start_with ~defense ~image ~input ?obs () =
+  let protection = Defense.to_protection defense in
+  let k =
+    Kernel.Os.create ?obs ~tlb_fill:(Defense.tlb_fill defense) ~protection ()
+  in
+  let p = Kernel.Os.spawn k image in
+  (match input with
+  | None -> ()
+  | Some s -> ignore (Kernel.Os.feed_stdin k p s : int));
+  k
+
+let attack ~name ~descr ~response =
+  let defense = Defense.split_with ~response () in
+  {
+    name;
+    descr;
+    defense;
+    start =
+      (fun ?obs () ->
+        start_with ~defense ~image:victim ~input:(Some injected_payload) ?obs ());
+  }
+
+let all =
+  [
+    (let defense = Defense.split_standalone in
+     {
+       name = "benign";
+       descr = "compute/IO loop under full split memory, no attack";
+       defense;
+       start =
+         (fun ?obs () ->
+           start_with ~defense ~image:(benign_image ()) ~input:None ?obs ());
+     });
+    attack ~name:"attack-break" ~descr:"shellcode injection, Break response"
+      ~response:Split_memory.Response.Break;
+    attack ~name:"attack-forensics"
+      ~descr:"shellcode injection, Forensics response"
+      ~response:(Split_memory.Response.Forensics { payload = None });
+    attack ~name:"attack-observe"
+      ~descr:"shellcode injection, Observe response with Sebek tracing"
+      ~response:(Split_memory.Response.Observe { sebek = true });
+  ]
+
+let names = List.map (fun s -> s.name) all
+let find name = List.find_opt (fun s -> s.name = name) all

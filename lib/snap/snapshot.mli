@@ -1,0 +1,69 @@
+(** Whole-machine snapshots: checkpoint/restore of a live simulation.
+
+    A snapshot is a deep, immutable copy of everything that determines the
+    simulation's future: CPU registers, both TLBs (including their raw FIFO
+    replacement queues), physical frames (sparse — all-zero frames are
+    skipped), the frame allocator, every process (pagetables with
+    code/data-copy split mappings, regions, descriptors, pipes), registered
+    libraries, scheduler state, the kernel PRNG, cost counters and the
+    event log.
+
+    The binary format is versioned ({!magic}, {!version}); {!manifest}
+    renders a human-readable JSON summary written next to the binary by
+    {!save}.
+
+    Limitations (v1): the optional I/D cache timing model is not
+    serialized — {!checkpoint} and {!restore} reject machines with caches
+    enabled. The kernel PRNG is stored as an opaque [Marshal] blob, so
+    snapshot files are portable only across builds with the same OCaml
+    [Random] representation. *)
+
+val version : int
+val magic : string
+
+type trigger = { t_pid : int; t_eip : int; t_mode : string }
+(** The detection event that motivated a forensic snapshot. *)
+
+type t
+
+val cycle : t -> int
+(** Cycle counter at capture time. *)
+
+val page_size : t -> int
+val frame_count : t -> int
+val frames_written : t -> int
+val frames_sparse_skipped : t -> int
+val protection_name : t -> string
+val meta : t -> (string * string) list
+val find_meta : t -> string -> string option
+val trigger : t -> trigger option
+val proc_summaries : t -> (int * string * string) list
+(** [(pid, name, state)] per process, pid order. *)
+
+val checkpoint :
+  ?meta:(string * string) list -> ?trigger:trigger -> Kernel.Os.t -> t
+(** Deep-copy the machine. Safe at any point where no instruction is
+    mid-execution; for bit-exact replay, capture at a scheduler-loop
+    boundary (which is where {!Kernel.Os.run} with bounded fuel stops and
+    where {!Ring} hooks fire). [meta] carries free-form provenance (e.g.
+    scenario name) into the manifest and binary.
+    @raise Invalid_argument if the machine has the cache model enabled. *)
+
+val restore : Kernel.Os.t -> t -> unit
+(** Overwrite a compatible live machine with the snapshot state in place.
+    The target must have the same page size, frame count, protection name
+    and cost parameters (in practice: a machine built by the same scenario
+    constructor). @raise Invalid_argument on configuration mismatch. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Codec.Corrupt on truncation, bad magic or unknown version. *)
+
+val manifest : t -> Obs.Json.t
+
+val save : ?obs:Obs.t -> file:string -> t -> int
+(** Write [file] (binary) plus [file].manifest.json; returns the binary
+    size in bytes. Bumps [snap.bytes_written] when [obs] is enabled. *)
+
+val load : string -> t
+(** @raise Codec.Corrupt, [Sys_error]. *)

@@ -22,4 +22,5 @@ let () =
       ("hw-pagetable", Test_hw_pagetable.suite);
       ("dynlib", Test_dynlib.suite);
       ("obs", Test_obs.suite);
+      ("snap", Test_snap.suite);
     ]
