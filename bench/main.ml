@@ -1,24 +1,51 @@
 (* Regenerates every table and figure of the paper's evaluation (§6).
-   Usage: main.exe [table1|table2|fig5|fig6|fig7|fig8|fig9|ablation|micro]...
-   With no argument, runs the full reproduction suite (everything except
-   the bechamel microbenchmarks). *)
+   Usage: main.exe [-j N] [--json FILE] [table1|table2|fig5|fig6|fig7|fig8|fig9|ablation|micro]...
+   With no experiment argument, runs the full reproduction suite
+   (everything except the bechamel microbenchmarks).
+
+   Every grid-shaped experiment fans its machines out over a Fleet worker
+   pool of [-j N] domains (default: the machine's recommended domain
+   count). Results are consumed in submission order, so the rendered
+   tables and figures are byte-identical for every N. *)
 
 let out fmt = Fmt.pr (fmt ^^ "@.")
+
+(* Worker-domain count, set by -j/--jobs before dispatch. *)
+let jobs = ref (Fleet.default_jobs ())
 
 (* --- Table 1: the Wilander-style benchmark ------------------------------ *)
 
 let table1 () =
-  let mark outcome =
-    if Attack.Runner.is_foiled outcome then "foiled"
-    else if Attack.Runner.is_attack_success outcome then "SHELL!"
-    else "crash"
+  let mark = function
+    | Error (e : Fleet.error) -> "error: " ^ e.reason
+    | Ok outcome ->
+      if Attack.Runner.is_foiled outcome then "foiled"
+      else if Attack.Runner.is_attack_success outcome then "SHELL!"
+      else "crash"
   in
+  let cells =
+    List.concat_map
+      (fun t -> List.map (fun l -> (t, l)) Attack.Wilander.locations)
+      Attack.Wilander.techniques
+  in
+  (* One job per grid cell; each runs the cell under split memory and the
+     unprotected control on its own pair of machines. *)
+  let outcomes =
+    Fleet.map ~jobs:!jobs
+      ~label:(fun (t, l) ->
+        Attack.Wilander.technique_name t ^ "/" ^ Attack.Wilander.location_name l)
+      (fun (t, l) ->
+        ( Attack.Wilander.run ~defense:Defense.split_standalone t l,
+          Attack.Wilander.run ~defense:Defense.unprotected t l ))
+      cells
+  in
+  let n_loc = List.length Attack.Wilander.locations in
+  let cell ti li = List.nth outcomes ((ti * n_loc) + li) in
   let rows =
-    List.map
-      (fun t ->
+    List.mapi
+      (fun ti t ->
         Attack.Wilander.technique_name t
-        :: List.map
-             (fun l -> mark (Attack.Wilander.run ~defense:Defense.split_standalone t l))
+        :: List.mapi (fun li _ -> mark (Result.map fst (cell ti li)))
              Attack.Wilander.locations)
       Attack.Wilander.techniques
   in
@@ -32,37 +59,37 @@ let table1 () =
        rows);
   let unprot_all =
     List.for_all
-      (fun t ->
-        List.for_all
-          (fun l ->
-            Attack.Runner.is_attack_success
-              (Attack.Wilander.run ~defense:Defense.unprotected t l))
-          Attack.Wilander.locations)
-      Attack.Wilander.techniques
+      (function
+        | Ok (_, unprot) -> Attack.Runner.is_attack_success unprot
+        | Error _ -> false)
+      outcomes
   in
-  let combos =
-    List.length Attack.Wilander.techniques * List.length Attack.Wilander.locations
-  in
+  let combos = List.length cells in
   out "control: all %d combinations spawn a shell on the unprotected kernel: %b@." combos
     unprot_all
 
 (* --- Table 2: the five real-world attacks ------------------------------- *)
 
 let table2 () =
-  let rows =
-    List.map
+  let runs =
+    Fleet.map ~jobs:!jobs
+      ~label:(fun id -> (Attack.Realworld.info id).package)
       (fun id ->
-        let info = Attack.Realworld.info id in
-        let unprot = Attack.Realworld.run ~defense:Defense.unprotected id in
-        let split = Attack.Realworld.run ~defense:Defense.split_standalone id in
-        [
-          info.package;
-          info.version;
-          info.vuln;
-          Attack.Runner.outcome_name unprot;
-          Attack.Runner.outcome_name split;
-        ])
+        ( Attack.Realworld.run ~defense:Defense.unprotected id,
+          Attack.Realworld.run ~defense:Defense.split_standalone id ))
       Attack.Realworld.all
+  in
+  let rows =
+    List.map2
+      (fun id run ->
+        let info = Attack.Realworld.info id in
+        let unprot, split =
+          match run with
+          | Ok (u, s) -> (Attack.Runner.outcome_name u, Attack.Runner.outcome_name s)
+          | Error (e : Fleet.error) -> ("error: " ^ e.reason, "error: " ^ e.reason)
+        in
+        [ info.package; info.version; info.vuln; unprot; split ])
+      Attack.Realworld.all runs
   in
   out "%s"
     (Report.table
@@ -73,6 +100,9 @@ let table2 () =
        rows)
 
 (* --- Fig. 5: response modes against the WU-FTPD exploit ----------------- *)
+
+(* Interactive exploit sessions (driver feeds stdin between runs) stay
+   sequential: their value is the annotated kernel log, not throughput. *)
 
 let show_log title (k : Kernel.Os.t) =
   out "--- %s ---" title;
@@ -117,25 +147,25 @@ let with_reference points refs =
     points refs
 
 let fig6 () =
-  let points = Workload.Figures.fig6 () in
+  let points = Workload.Figures.fig6 ~jobs:!jobs () in
   out "%s"
     (Report.bars ~title:"Fig. 6: normalized performance, stand-alone split memory"
        (with_reference points [ 0.89; 0.87; 0.97; 0.82 ]))
 
 let fig7 () =
-  let points = Workload.Figures.fig7 () in
+  let points = Workload.Figures.fig7 ~jobs:!jobs () in
   out "%s"
     (Report.bars ~title:"Fig. 7: stress tests (context-switch heavy)"
        (with_reference points [ 0.45; 0.45 ]))
 
 let fig8 () =
-  let points = Workload.Figures.fig8 () in
+  let points = Workload.Figures.fig8 ~jobs:!jobs () in
   out "%s"
     (Report.bars ~title:"Fig. 8: Apache throughput vs served page size (split memory)"
        (List.map (fun (p : Workload.Figures.point) -> (p.x, p.value)) points))
 
 let fig9 () =
-  let points = Workload.Figures.fig9 () in
+  let points = Workload.Figures.fig9 ~jobs:!jobs () in
   out "%s"
     (Report.bars
        ~title:
@@ -146,31 +176,45 @@ let fig9 () =
 (* --- Ablations ----------------------------------------------------------- *)
 
 let ablation () =
+  let outcome_cell = function
+    | Ok o -> Attack.Runner.outcome_name o
+    | Error (e : Fleet.error) -> "error: " ^ e.reason
+  in
   out "Ablation A: DEP/NX bypass via mmap-RWX gadget (paper S2, ref [4])";
-  let run d = Attack.Runner.outcome_name (Attack.Bypass.run_nx_bypass ~defense:d ()) in
+  let nx_rows =
+    [ ("unprotected", Defense.unprotected);
+      ("nx bit", Defense.nx);
+      ("split memory", Defense.split_standalone) ]
+  in
+  let nx_runs =
+    Fleet.map ~jobs:!jobs ~label:fst
+      (fun (_, d) -> Attack.Bypass.run_nx_bypass ~defense:d ())
+      nx_rows
+  in
   out "%s"
     (Report.table ~title:"" ~header:[ "defense"; "outcome" ]
-       [
-         [ "unprotected"; run Defense.unprotected ];
-         [ "nx bit"; run Defense.nx ];
-         [ "split memory"; run Defense.split_standalone ];
-       ]);
+       (List.map2 (fun (n, _) r -> [ n; outcome_cell r ]) nx_rows nx_runs));
   out "Ablation B: mixed code+data page (paper Fig. 1b, JavaVM/JIT case)";
-  let run d = Attack.Runner.outcome_name (Attack.Bypass.run_mixed_page ~defense:d ()) in
+  let mixed_rows =
+    [ ("unprotected", Defense.unprotected);
+      ("nx bit", Defense.nx);
+      ("split(mixed-only)+nx", Defense.split_mixed_plus_nx);
+      ("split stand-alone", Defense.split_standalone) ]
+  in
+  let mixed_runs =
+    Fleet.map ~jobs:!jobs ~label:fst
+      (fun (_, d) -> Attack.Bypass.run_mixed_page ~defense:d ())
+      mixed_rows
+  in
   out "%s"
     (Report.table ~title:"" ~header:[ "defense"; "outcome" ]
-       [
-         [ "unprotected"; run Defense.unprotected ];
-         [ "nx bit"; run Defense.nx ];
-         [ "split(mixed-only)+nx"; run Defense.split_mixed_plus_nx ];
-         [ "split stand-alone"; run Defense.split_standalone ];
-       ]);
-  let unprot, eager, demand = Workload.Figures.memory_overhead () in
+       (List.map2 (fun (n, _) r -> [ n; outcome_cell r ]) mixed_rows mixed_runs));
+  let unprot, eager, demand = Workload.Figures.memory_overhead ~jobs:!jobs () in
   out
     "Ablation C: memory overhead (peak frames) — unprotected %d, eager split %d,\n\
      demand split %d (paper S5.1: prototype doubles memory; demand paging avoids it)@."
     unprot eager demand;
-  let single_step, ret_gadget = Workload.Figures.itlb_method_ablation () in
+  let single_step, ret_gadget = Workload.Figures.itlb_method_ablation ~jobs:!jobs () in
   out
     "Ablation D: ITLB load method, pipe-ctxsw cycles — single-step %d, ret-gadget %d\n\
      (paper S4.2.4: the ret-instruction variant was measurably slower)@."
@@ -178,13 +222,13 @@ let ablation () =
   out "Ablation F: implementation mechanisms on the ctxsw stress test";
   out "%s"
     (Report.bars ~title:"(each vs the stock kernel on its own hardware)"
-       (Workload.Figures.mechanisms_ablation ()));
+       (Workload.Figures.mechanisms_ablation ~jobs:!jobs ()));
   out "Ablation G: TLB capacity sweep (ctxsw stress, stand-alone split)";
   out "%s"
     (Report.bars ~title:"(overhead is flush-driven: capacity barely matters)"
        (List.map
           (fun (cap, v) -> (Fmt.str "%3d entries" cap, v))
-          (Workload.Figures.tlb_capacity_sweep ())));
+          (Workload.Figures.tlb_capacity_sweep ~jobs:!jobs ())));
   out
     "Ablation H: combined deployment (split mixed-only + NX) on the Fig. 6\n\
      workloads — the paper's S4.2.1 claim of very low overhead:";
@@ -192,8 +236,10 @@ let ablation () =
     (Report.bars ~title:""
        (List.map
           (fun (p : Workload.Figures.point) -> (p.x, p.value))
-          (Workload.Figures.fig6 ~defense:Defense.split_mixed_plus_nx ())));
+          (Workload.Figures.fig6 ~jobs:!jobs ~defense:Defense.split_mixed_plus_nx ())));
   out "Ablation E: samba brute force under randomization";
+  (* The brute-force session is a feedback loop (each attempt adapts to the
+     previous detection), so it stays sequential. *)
   let r = Attack.Realworld.run_samba ~defense:Defense.unprotected () in
   out "  unprotected: %s after %d attempts"
     (Attack.Runner.outcome_name r.outcome)
@@ -386,51 +432,85 @@ let calib () =
   both "ctxsw" (fun d -> Workload.Figures.run_ctxsw ~defense:d ~iters:250 ());
   List.iter
     (fun (n, v) -> out "  nbench %-22s %.3f" n v)
-    (Workload.Figures.nbench_results ~defense:Defense.split_standalone);
+    (Workload.Figures.nbench_results ~jobs:!jobs ~defense:Defense.split_standalone ());
   List.iter
     (fun (n, v) -> out "  unixbench %-20s %.3f" n v)
-    (Workload.Figures.unixbench_pieces ~defense:Defense.split_standalone)
+    (Workload.Figures.unixbench_pieces ~jobs:!jobs ~defense:Defense.split_standalone ())
 
 (* --- machine-readable export (--json FILE) ------------------------------- *)
 
-(* Run the headline workloads under the stock and split kernels with a live
-   observability sink, and dump both the per-run counters and the
-   accumulated metrics registry as one JSON document. *)
+(* Run the headline workloads under the stock and split kernels — fanned
+   out over the fleet — with a live observability sink, and dump the
+   per-run counters (with per-job wall-clock), the fleet's own stats and
+   the merged metrics registry as one JSON document.
+
+   Schema split-memory-bench/2: everything /1 had, plus "jobs" (the -j
+   used), per-benchmark "wall_us", and the "fleet" object (per-job
+   wall-times and the observed parallel speedup). /1 consumers keep
+   working: existing fields are unchanged, additions are additive. *)
 let json_bench file =
   let module J = Obs.Json in
+  let module F = Workload.Figures in
+  let module H = Workload.Harness in
+  let module G = Workload.Guests in
   let obs = Obs.create () in
-  let result_json (r : Workload.Harness.result) =
-    J.Obj
-      [
-        ("label", J.Str r.label);
-        ("defense", J.Str r.defense);
-        ("cycles", J.Int r.cycles);
-        ("insns", J.Int r.insns);
-        ("traps", J.Int r.traps);
-        ("split_faults", J.Int r.split_faults);
-        ("single_steps", J.Int r.single_steps);
-        ("ctx_switches", J.Int r.ctx_switches);
-        ("peak_frames", J.Int r.peak_frames);
-        ("itlb_misses", J.Int r.itlb_misses);
-        ("dtlb_misses", J.Int r.dtlb_misses);
-      ]
-  in
-  let runs =
+  let specs =
     List.concat_map
       (fun defense ->
         [
-          result_json
-            (Workload.Figures.run_apache ~obs ~defense ~size:32768 ~requests:25 ());
-          result_json (Workload.Figures.run_gzip ~obs ~defense ~size:(48 * 1024) ());
-          result_json (Workload.Figures.run_ctxsw ~obs ~defense ~iters:250 ());
+          F.apache_spec ~defense ~size:32768 ~requests:25;
+          F.apache_spec ~defense ~size:1024 ~requests:25;
+          F.gzip_spec ~defense ~size:(48 * 1024);
+          F.ctxsw_spec ~defense ~iters:250;
+          H.single ~defense (G.nbench ~iters:60 ());
+          H.single ~defense (G.syscall_bench ~iters:2500 ());
+          H.single ~defense (G.pipe_throughput ~iters:800 ());
+          H.single ~defense (G.spawn_bench ~iters:60 ());
+          H.single ~defense (G.fscopy ~passes:3 ~size:(24 * 1024) ());
         ])
       [ Defense.unprotected; Defense.split_standalone ]
+  in
+  let results, stats = H.run_fleet_stats ~obs ~jobs:!jobs specs in
+  let result_json wall_us = function
+    | Ok (r : H.result) ->
+      J.Obj
+        [
+          ("label", J.Str r.label);
+          ("defense", J.Str r.defense);
+          ("cycles", J.Int r.cycles);
+          ("insns", J.Int r.insns);
+          ("traps", J.Int r.traps);
+          ("split_faults", J.Int r.split_faults);
+          ("single_steps", J.Int r.single_steps);
+          ("ctx_switches", J.Int r.ctx_switches);
+          ("peak_frames", J.Int r.peak_frames);
+          ("itlb_misses", J.Int r.itlb_misses);
+          ("dtlb_misses", J.Int r.dtlb_misses);
+          ("wall_us", J.Int wall_us);
+        ]
+    | Error (e : Fleet.error) ->
+      J.Obj
+        [ ("label", J.Str e.label); ("error", J.Str e.reason); ("wall_us", J.Int wall_us) ]
+  in
+  let runs = List.mapi (fun i r -> result_json stats.job_us.(i) r) results in
+  let fleet_json =
+    J.Obj
+      [
+        ("jobs", J.Int stats.jobs);
+        ("failures", J.Int stats.failures);
+        ("workers", J.Int stats.workers);
+        ("wall_us", J.Int stats.wall_us);
+        ("speedup", J.Float stats.speedup);
+        ("job_us", J.List (Array.to_list (Array.map (fun us -> J.Int us) stats.job_us)));
+      ]
   in
   let doc =
     J.Obj
       [
-        ("schema", J.Str "split-memory-bench/1");
+        ("schema", J.Str "split-memory-bench/2");
+        ("jobs", J.Int !jobs);
         ("benchmarks", J.List runs);
+        ("fleet", fleet_json);
         ("metrics", Obs.Metrics.to_json (Obs.snapshot obs));
       ]
   in
@@ -455,6 +535,23 @@ let all_reproduction () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Strip -j/--jobs N (position-independent) before dispatching. *)
+  let rec strip_jobs = function
+    | [] -> []
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v >= 1 ->
+        jobs := v;
+        strip_jobs rest
+      | Some _ | None ->
+        Fmt.epr "-j needs a positive integer, got %S@." n;
+        exit 1)
+    | [ ("-j" | "--jobs") ] ->
+      Fmt.epr "-j needs a worker-count argument@.";
+      exit 1
+    | x :: rest -> x :: strip_jobs rest
+  in
+  let args = strip_jobs args in
   let dispatch = function
     | "table1" -> table1 ()
     | "table2" -> table2 ()

@@ -224,56 +224,57 @@ let workload_arg =
     & info [] ~docv:"WORKLOAD"
         ~doc:"One of: apache32k, apache1k, gzip, nbench, ctxsw, unixbench.")
 
-(* Shared by the workload and stats commands: run one workload with the
-   kernel in hand so the machine counters (cost, TLBs) can be printed. *)
-let exec_workload ~obs ~defense which =
-  let show ((r : Workload.Harness.result), k) =
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for multi-machine workloads (unixbench). Default: the \
+           machine's recommended domain count. Output is identical for any $(docv).")
+
+(* Shared by the workload and stats commands: every workload is built as a
+   first-class experiment spec and executed with the kernel in hand so the
+   machine counters (cost, TLBs) can be printed. *)
+let exec_workload ~obs ~jobs ~defense which =
+  let show_spec spec =
+    let (r : Workload.Harness.result), k = Workload.Harness.run_k ~obs spec in
     Fmt.pr
       "%s under %s: %d cycles, %d insns, %d traps, %d split faults, %d ctx switches@."
       r.label r.defense r.cycles r.insns r.traps r.split_faults r.ctx_switches;
     show_machine k
   in
   match which with
-  | `Apache size ->
-    show
-      (Workload.Harness.run_pair_k ~obs ~defense
-         (Workload.Guests.apache_server ~size ())
-         (Workload.Guests.apache_client ~size ~requests:25 ()))
-  | `Gzip ->
-    let size = 48 * 1024 in
-    show
-      (Workload.Harness.run_pair_k ~obs ~defense ~capacity:4096
-         (Workload.Guests.gzip_disk ~size ~block:4096 ())
-         (Workload.Guests.gzip ~size ()))
+  | `Apache size -> show_spec (Workload.Figures.apache_spec ~defense ~size ~requests:25)
+  | `Gzip -> show_spec (Workload.Figures.gzip_spec ~defense ~size:(48 * 1024))
   | `Nbench ->
-    show
-      (Workload.Harness.run_single_k ~obs ~defense (Workload.Guests.nbench ~iters:60 ()))
-  | `Ctxsw ->
-    show
-      (Workload.Harness.run_pair_k ~obs ~defense
-         (Workload.Guests.ctxsw_ping ~iters:250 ())
-         (Workload.Guests.ctxsw_pong ()))
+    show_spec (Workload.Harness.single ~defense (Workload.Guests.nbench ~iters:60 ()))
+  | `Ctxsw -> show_spec (Workload.Figures.ctxsw_spec ~defense ~iters:250)
   | `Unixbench ->
+    (* The only multi-machine workload: fan its pieces over the fleet. *)
+    let jobs = match jobs with Some j -> j | None -> Fleet.default_jobs () in
     List.iter
       (fun (name, v) -> Fmt.pr "%-20s %.3f@." name v)
-      (Workload.Figures.unixbench_pieces ~defense)
+      (Workload.Figures.unixbench_pieces ~jobs ~defense ())
 
 let workload_cmd =
-  let run defense metrics trace chrome which =
+  let run defense jobs metrics trace chrome which =
     let obs = make_obs ~metrics ~trace ~chrome in
-    exec_workload ~obs ~defense which;
+    exec_workload ~obs ~jobs ~defense which;
     finish_obs obs ~metrics ~trace ~chrome
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a benchmark workload under a defense and print counters.")
-    Term.(const run $ defense_arg $ metrics_arg $ trace_arg $ chrome_arg $ workload_arg)
+    Term.(
+      const run $ defense_arg $ jobs_arg $ metrics_arg $ trace_arg $ chrome_arg
+      $ workload_arg)
 
 (* stats command: the workload run with the full observability readout *)
 
 let stats_cmd =
-  let run defense trace chrome which =
+  let run defense jobs trace chrome which =
     let obs = Obs.create () in
-    exec_workload ~obs ~defense which;
+    exec_workload ~obs ~jobs ~defense which;
     finish_obs obs ~metrics:true ~trace ~chrome
   in
   Cmd.v
@@ -281,7 +282,7 @@ let stats_cmd =
        ~doc:
          "Run a workload with observability on and render the full metrics snapshot \
           (counters, gauges, latency histograms, per-page/per-pid tallies).")
-    Term.(const run $ defense_arg $ trace_arg $ chrome_arg $ workload_arg)
+    Term.(const run $ defense_arg $ jobs_arg $ trace_arg $ chrome_arg $ workload_arg)
 
 (* disasm / layout commands *)
 

@@ -1,0 +1,147 @@
+type error = { index : int; label : string; reason : string }
+
+type stats = {
+  jobs : int;
+  failures : int;
+  workers : int;
+  wall_us : int;
+  job_us : int array;
+  speedup : float;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Wall clock, not [Sys.time]: CPU time sums over domains, which is
+   exactly the wrong metric for a parallelism speedup. *)
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* A close-able Mutex/Condition job queue. All jobs are enqueued before the
+   workers start, but the structure stays general (waiters block until an
+   item arrives or the queue is closed). *)
+module Jobq = struct
+  type 'a t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    items : 'a Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      items = Queue.create ();
+      closed = false;
+    }
+
+  let push t x =
+    Mutex.lock t.m;
+    Queue.push x t.items;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m
+
+  (* [None] once the queue is closed and drained. *)
+  let pop t =
+    Mutex.lock t.m;
+    let rec wait () =
+      match Queue.take_opt t.items with
+      | Some x ->
+        Mutex.unlock t.m;
+        Some x
+      | None ->
+        if t.closed then begin
+          Mutex.unlock t.m;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.m;
+          wait ()
+        end
+    in
+    wait ()
+end
+
+let record obs stats =
+  if Obs.enabled obs then begin
+    let reg = Obs.metrics obs in
+    Obs.Metrics.incr ~by:stats.jobs (Obs.counter obs "fleet.jobs");
+    Obs.Metrics.incr ~by:stats.failures (Obs.counter obs "fleet.failures");
+    Obs.Metrics.set_gauge (Obs.Metrics.gauge reg "fleet.workers") (float_of_int stats.workers);
+    Obs.Metrics.set_gauge (Obs.Metrics.gauge reg "fleet.speedup") stats.speedup;
+    let h = Obs.histogram obs "fleet.job_us" in
+    Array.iter (Obs.Metrics.observe h) stats.job_us
+  end
+
+let map_stats ?obs ?(jobs = default_jobs ()) ?(label = fun _ -> "job") f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let workers = max 1 (min jobs n) in
+  (* Each slot is written by exactly one worker, then read only after every
+     domain has been joined — no synchronization beyond the queue needed. *)
+  let results = Array.make n None in
+  let job_us = Array.make n 0 in
+  let exec i =
+    let x = arr.(i) in
+    let t0 = now_us () in
+    let r =
+      try Ok (f x)
+      with e -> Error { index = i; label = label x; reason = Printexc.to_string e }
+    in
+    job_us.(i) <- now_us () - t0;
+    results.(i) <- Some r
+  in
+  let t0 = now_us () in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      exec i
+    done
+  else begin
+    let q = Jobq.create () in
+    for i = 0 to n - 1 do
+      Jobq.push q i
+    done;
+    Jobq.close q;
+    let worker () =
+      let rec drain () =
+        match Jobq.pop q with
+        | Some i ->
+          exec i;
+          drain ()
+        | None -> ()
+      in
+      drain ()
+    in
+    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains
+  end;
+  let wall_us = max 1 (now_us () - t0) in
+  let results =
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  in
+  let failures =
+    List.fold_left
+      (fun acc -> function Error _ -> acc + 1 | Ok _ -> acc)
+      0 results
+  in
+  let busy_us = Array.fold_left ( + ) 0 job_us in
+  let stats =
+    {
+      jobs = n;
+      failures;
+      workers;
+      wall_us;
+      job_us;
+      speedup = float_of_int busy_us /. float_of_int wall_us;
+    }
+  in
+  Option.iter (fun o -> record o stats) obs;
+  (results, stats)
+
+let map ?obs ?jobs ?label f items = fst (map_stats ?obs ?jobs ?label f items)

@@ -117,6 +117,19 @@ let label_cells l =
   |> List.sort (fun (ka, va) (kb, vb) ->
          match compare vb va with 0 -> compare ka kb | c -> c)
 
+(* Detached instruments: well-formed, but registered nowhere. The disabled
+   [Obs] sink hands these out so instrumentation wired to [Obs.null] never
+   mutates shared state — a requirement for running machines on multiple
+   domains (lib/fleet). *)
+let detached_counter name = { c_name = name; count = 0 }
+let detached_gauge name = { g_name = name; value = 0.0 }
+
+let detached_histogram name =
+  { h_name = name; n = 0; sum = 0; vmin = max_int; vmax = min_int;
+    buckets = Array.make 63 0 }
+
+let detached_labeled name = { l_name = name; cells = Hashtbl.create 4 }
+
 let items reg = List.rev reg.rev_items
 
 let counters reg =
@@ -132,6 +145,34 @@ let labeled_sets reg =
   List.filter_map
     (function Labeled l -> Some (l.l_name, label_cells l) | _ -> None)
     (items reg)
+
+(* Fold [src] into [into], matching items by name in [src]'s creation
+   order: counters and histograms accumulate, gauges take [src]'s value
+   (last write wins, like sequential snapshotting), labeled cells add up.
+   Deterministic given a deterministic [src] — labeled cells are visited in
+   sorted order so [into]'s internal state is reproducible too. *)
+let merge ~into src =
+  let merge_histogram (dst : histogram) (h : histogram) =
+    if h.n > 0 then begin
+      dst.n <- dst.n + h.n;
+      dst.sum <- dst.sum + h.sum;
+      if h.vmin < dst.vmin then dst.vmin <- h.vmin;
+      if h.vmax > dst.vmax then dst.vmax <- h.vmax;
+      Array.iteri (fun k c -> dst.buckets.(k) <- dst.buckets.(k) + c) h.buckets
+    end
+  in
+  List.iter
+    (function
+      | Counter c -> incr ~by:c.count (counter into c.c_name)
+      | Gauge g -> set_gauge (gauge into g.g_name) g.value
+      | Histogram h -> merge_histogram (histogram into h.h_name) h
+      | Labeled l ->
+        let dst = labeled into l.l_name in
+        List.iter
+          (fun (key, v) -> incr_label ~by:v dst key)
+          (List.sort compare
+             (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) l.cells [])))
+    (items src)
 
 let histogram_to_json h =
   Json.Obj

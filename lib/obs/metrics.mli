@@ -47,6 +47,21 @@ val incr_label : ?by:int -> labeled -> string -> unit
 val label_cells : labeled -> (string * int) list
 (** Descending by count (ties by key). *)
 
+val detached_counter : string -> counter
+(** A well-formed instrument registered in no registry — handed out by
+    disabled [Obs] sinks so instrumentation never mutates shared state.
+    Same for the other three kinds. *)
+
+val detached_gauge : string -> gauge
+val detached_histogram : string -> histogram
+val detached_labeled : string -> labeled
+
+val merge : into:registry -> registry -> unit
+(** Fold the second registry into [into], matching items by name in the
+    source's creation order: counters and histograms accumulate, gauges
+    take the source value, labeled cells add up. @raise Invalid_argument
+    if a name is registered in [into] with a different kind. *)
+
 val counters : registry -> (string * int) list
 (** Creation order; same for the other accessors. *)
 

@@ -65,9 +65,18 @@ let complete t ?(args = []) ~cat ~since name =
       { Trace.ts = since; cat; name; ph = Trace.Complete (now - since); args }
   end
 
-let counter t name = Metrics.counter t.metrics name
-let histogram t name = Metrics.histogram t.metrics name
-let labeled t name = Metrics.labeled t.metrics name
+(* When disabled, hand out fresh detached instruments instead of touching
+   the registry: [null] is shared process-wide (and, with lib/fleet, across
+   domains), so it must never be mutated — not even by instrument
+   registration. *)
+let counter t name =
+  if t.enabled then Metrics.counter t.metrics name else Metrics.detached_counter name
+
+let histogram t name =
+  if t.enabled then Metrics.histogram t.metrics name else Metrics.detached_histogram name
+
+let labeled t name =
+  if t.enabled then Metrics.labeled t.metrics name else Metrics.detached_labeled name
 
 let count t name = if t.enabled then Metrics.incr (Metrics.counter t.metrics name)
 
@@ -76,6 +85,14 @@ let add_snapshot_hook t f = if t.enabled then t.hooks <- f :: t.hooks
 let snapshot t =
   List.iter (fun f -> f ()) (List.rev t.hooks);
   t.metrics
+
+(* Fold a per-job sink into an aggregate one (lib/fleet): run the source's
+   snapshot hooks first so its point-in-time hardware gauges are current,
+   then merge the registries. Trace events are deliberately not merged —
+   their timestamps are per-machine cycle counts with no common clock. *)
+let merge_metrics ~into src =
+  if into.enabled && src.enabled then
+    Metrics.merge ~into:into.metrics (snapshot src)
 
 let write_trace t path =
   let oc = open_out path in

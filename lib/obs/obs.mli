@@ -52,6 +52,11 @@ val complete :
 (** Emit a finished span: begins at [since], ends now. *)
 
 val counter : t -> string -> Metrics.counter
+(** Find-or-create in the live registry; on a disabled sink, a fresh
+    {e detached} instrument (registered nowhere, never read back), so
+    wiring instrumentation to {!null} mutates no shared state — required
+    for machines running on multiple domains. Same for the other kinds. *)
+
 val histogram : t -> string -> Metrics.histogram
 val labeled : t -> string -> Metrics.labeled
 
@@ -64,6 +69,13 @@ val add_snapshot_hook : t -> (unit -> unit) -> unit
 
 val snapshot : t -> Metrics.registry
 (** Run the snapshot hooks, then return the registry. *)
+
+val merge_metrics : into:t -> t -> unit
+(** Fold the second sink's metrics into [into]: runs the source's snapshot
+    hooks (importing its final hardware gauges), then merges registries via
+    {!Metrics.merge}. Trace events are not merged (their timestamps are
+    per-machine cycle counts). No-op if either sink is disabled. Used by
+    the fleet to aggregate per-job sinks in submission order. *)
 
 val write_trace : t -> string -> unit
 (** Write the retained events as JSONL. *)

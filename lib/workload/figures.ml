@@ -1,6 +1,9 @@
 (* The paper's performance experiments (Figs. 6–9) as data producers. Each
-   function runs the relevant workloads under the unprotected kernel and the
-   protected configuration(s) and reports normalized performance. *)
+   figure assembles the specs for every machine it needs — protected
+   configurations and their unprotected baselines — runs them through the
+   fleet ([jobs] worker domains, default 1), and derives its points from
+   the results. Fleet results come back in submission order, so every
+   figure is bit-identical for any [jobs]. *)
 
 type point = { x : string; value : float }
 
@@ -18,193 +21,291 @@ let spawn_iters = 60
 let fscopy_passes = 3
 let fscopy_size = kb 24
 
-let run_apache ?obs ~defense ~size ~requests () =
-  Harness.run_pair ?obs ~defense
+(* --- spec builders ------------------------------------------------------- *)
+
+let apache_spec ~defense ~size ~requests =
+  Harness.pair ~defense
     (Guests.apache_server ~size ())
     (Guests.apache_client ~size ~requests ())
 
-let apache_normalized ~defense ~size ~requests =
-  let base = run_apache ~defense:Defense.unprotected ~size ~requests () in
-  let prot = run_apache ~defense ~size ~requests () in
-  Harness.normalized ~baseline:base prot
-
-let single_normalized ~defense image =
-  let base = Harness.run_single ~defense:Defense.unprotected image in
-  let prot = Harness.run_single ~defense image in
-  Harness.normalized ~baseline:base prot
-
-let run_gzip ?obs ~defense ~size () =
-  Harness.run_pair ?obs ~defense ~capacity:4096
+let gzip_spec ~defense ~size =
+  Harness.pair ~defense ~capacity:4096
     (Guests.gzip_disk ~size ~block:4096 ())
     (Guests.gzip ~size ())
 
-let gzip_normalized ~defense ~size =
-  let base = run_gzip ~defense:Defense.unprotected ~size () in
-  let prot = run_gzip ~defense ~size () in
-  Harness.normalized ~baseline:base prot
+let ctxsw_spec ~defense ~iters =
+  Harness.pair ~defense (Guests.ctxsw_ping ~iters ()) (Guests.ctxsw_pong ())
 
-let run_ctxsw ?obs ~defense ~iters () =
-  Harness.run_pair ?obs ~defense (Guests.ctxsw_ping ~iters ()) (Guests.ctxsw_pong ())
+(* --- single-machine runners ---------------------------------------------- *)
 
-let ctxsw_normalized ~defense ~iters =
-  let base = run_ctxsw ~defense:Defense.unprotected ~iters () in
-  let prot = run_ctxsw ~defense ~iters () in
-  Harness.normalized ~baseline:base prot
+let run_apache ?obs ~defense ~size ~requests () =
+  Harness.run ?obs (apache_spec ~defense ~size ~requests)
 
-(* nbench reports per-test scores; the paper quotes the slowest. *)
-let nbench_results ~defense =
-  List.map
-    (fun (name, image) -> (name, single_normalized ~defense image))
+let run_gzip ?obs ~defense ~size () = Harness.run ?obs (gzip_spec ~defense ~size)
+
+let run_ctxsw ?obs ~defense ~iters () = Harness.run ?obs (ctxsw_spec ~defense ~iters)
+
+(* --- keyed fleet execution ----------------------------------------------- *)
+
+(* Run a keyed spec list through the fleet and return a lookup; figures
+   must see every machine finish, so job failures re-raise. *)
+let lookup_of ?obs ?jobs keyed =
+  let results = Harness.run_fleet_exn ?obs ?jobs (List.map snd keyed) in
+  let tbl = Hashtbl.create (List.length keyed) in
+  List.iter2 (fun (key, _) r -> Hashtbl.replace tbl key r) keyed results;
+  fun key ->
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None -> invalid_arg ("Figures: unknown key " ^ key)
+
+(* [base]/[prot] spec pair under a key, and the normalized ratio of their
+   results — the unit every figure is built from. *)
+let vs key mk ~defense =
+  [ (key ^ "|base", mk Defense.unprotected); (key ^ "|prot", mk defense) ]
+
+let nrm look key =
+  Harness.normalized ~baseline:(look (key ^ "|base")) (look (key ^ "|prot"))
+
+let apache_normalized ?jobs ~defense ~size ~requests () =
+  let look =
+    lookup_of ?jobs (vs "apache" ~defense (fun d -> apache_spec ~defense:d ~size ~requests))
+  in
+  nrm look "apache"
+
+let single_normalized ?jobs ~defense image =
+  let look =
+    lookup_of ?jobs (vs "single" ~defense (fun d -> Harness.single ~defense:d image))
+  in
+  nrm look "single"
+
+let gzip_normalized ?jobs ~defense ~size () =
+  let look = lookup_of ?jobs (vs "gzip" ~defense (fun d -> gzip_spec ~defense:d ~size)) in
+  nrm look "gzip"
+
+let ctxsw_normalized ?jobs ~defense ~iters () =
+  let look =
+    lookup_of ?jobs (vs "ctxsw" ~defense (fun d -> ctxsw_spec ~defense:d ~iters))
+  in
+  nrm look "ctxsw"
+
+(* --- nbench / Unixbench -------------------------------------------------- *)
+
+let nbench_specs ~defense =
+  List.concat_map
+    (fun (name, image) ->
+      vs ("nbench:" ^ name) ~defense (fun d -> Harness.single ~defense:d image))
     (Guests.nbench_suite ~scale:(nbench_iters / 12))
 
-let nbench_slowest ~defense =
-  List.fold_left (fun acc (_, v) -> Float.min acc v) infinity (nbench_results ~defense)
+let nbench_names () = List.map fst (Guests.nbench_suite ~scale:1)
+
+(* nbench reports per-test scores; the paper quotes the slowest. *)
+let nbench_results ?jobs ~defense () =
+  let look = lookup_of ?jobs (nbench_specs ~defense) in
+  List.map (fun name -> (name, nrm look ("nbench:" ^ name))) (nbench_names ())
+
+let nbench_slowest_of look =
+  List.fold_left
+    (fun acc name -> Float.min acc (nrm look ("nbench:" ^ name)))
+    infinity (nbench_names ())
 
 (* The Unixbench pieces; the suite index is their geometric mean, like
    Unixbench's own scoring. *)
-let unixbench_pieces ~defense =
-  let single name image =
-    (name, single_normalized ~defense image)
-  in
+let unixbench_parts ~defense =
   [
-    single "dhrystone-like" (Guests.nbench ~iters:(nbench_iters / 2) ());
-    single "syscall" (Guests.syscall_bench ~iters:syscall_iters ());
-    single "pipe throughput" (Guests.pipe_throughput ~iters:pipe_iters ());
-    ("pipe-based ctxsw", ctxsw_normalized ~defense ~iters:ctxsw_iters);
-    single "process creation" (Guests.spawn_bench ~iters:spawn_iters ());
-    single "fs buffer copy" (Guests.fscopy ~passes:fscopy_passes ~size:fscopy_size ());
+    ( "dhrystone-like",
+      vs "ub:dhry" ~defense (fun d ->
+          Harness.single ~defense:d (Guests.nbench ~iters:(nbench_iters / 2) ())) );
+    ( "syscall",
+      vs "ub:syscall" ~defense (fun d ->
+          Harness.single ~defense:d (Guests.syscall_bench ~iters:syscall_iters ())) );
+    ( "pipe throughput",
+      vs "ub:pipe" ~defense (fun d ->
+          Harness.single ~defense:d (Guests.pipe_throughput ~iters:pipe_iters ())) );
+    ( "pipe-based ctxsw",
+      vs "ub:ctxsw" ~defense (fun d -> ctxsw_spec ~defense:d ~iters:ctxsw_iters) );
+    ( "process creation",
+      vs "ub:spawn" ~defense (fun d ->
+          Harness.single ~defense:d (Guests.spawn_bench ~iters:spawn_iters ())) );
+    ( "fs buffer copy",
+      vs "ub:fscopy" ~defense (fun d ->
+          Harness.single ~defense:d (Guests.fscopy ~passes:fscopy_passes ~size:fscopy_size ())) );
   ]
 
-let unixbench_index ~defense =
-  Harness.geomean (List.map snd (unixbench_pieces ~defense))
+let unixbench_keys = [ "ub:dhry"; "ub:syscall"; "ub:pipe"; "ub:ctxsw"; "ub:spawn"; "ub:fscopy" ]
 
-(* Fig. 6: Apache 32KB, gzip, nbench, Unixbench under stand-alone split. *)
-let fig6 ?(defense = Defense.split_standalone) () =
+let unixbench_pieces_of look =
+  List.map2
+    (fun (name, _) key -> (name, nrm look key))
+    (unixbench_parts ~defense:Defense.unprotected)
+    unixbench_keys
+
+let unixbench_pieces ?jobs ~defense () =
+  let look = lookup_of ?jobs (List.concat_map snd (unixbench_parts ~defense)) in
+  unixbench_pieces_of look
+
+let unixbench_index ?jobs ~defense () =
+  Harness.geomean (List.map snd (unixbench_pieces ?jobs ~defense ()))
+
+(* --- Fig. 6: Apache 32KB, gzip, nbench, Unixbench under stand-alone split. *)
+let fig6 ?obs ?jobs ?(defense = Defense.split_standalone) () =
+  let keyed =
+    vs "apache" ~defense (fun d ->
+        apache_spec ~defense:d ~size:(kb 32) ~requests:apache_requests)
+    @ vs "gzip" ~defense (fun d -> gzip_spec ~defense:d ~size:gzip_size)
+    @ nbench_specs ~defense
+    @ List.concat_map snd (unixbench_parts ~defense)
+  in
+  let look = lookup_of ?obs ?jobs keyed in
   [
+    { x = "Apache (32KB page)"; value = nrm look "apache" };
+    { x = "gzip"; value = nrm look "gzip" };
+    { x = "nbench (slowest test)"; value = nbench_slowest_of look };
     {
-      x = "Apache (32KB page)";
-      value = apache_normalized ~defense ~size:(kb 32) ~requests:apache_requests;
+      x = "Unixbench index";
+      value = Harness.geomean (List.map snd (unixbench_pieces_of look));
     };
-    { x = "gzip"; value = gzip_normalized ~defense ~size:gzip_size };
-    { x = "nbench (slowest test)"; value = nbench_slowest ~defense };
-    { x = "Unixbench index"; value = unixbench_index ~defense };
   ]
 
 (* Fig. 7: the contrived stress tests. *)
-let fig7 ?(defense = Defense.split_standalone) () =
+let fig7 ?obs ?jobs ?(defense = Defense.split_standalone) () =
+  let keyed =
+    vs "ctxsw" ~defense (fun d -> ctxsw_spec ~defense:d ~iters:ctxsw_iters)
+    @ vs "apache1k" ~defense (fun d ->
+          apache_spec ~defense:d ~size:(kb 1) ~requests:apache_requests)
+  in
+  let look = lookup_of ?obs ?jobs keyed in
   [
-    {
-      x = "Unixbench pipe-based ctxsw";
-      value = ctxsw_normalized ~defense ~iters:ctxsw_iters;
-    };
-    {
-      x = "Apache (1KB page)";
-      value = apache_normalized ~defense ~size:(kb 1) ~requests:apache_requests;
-    };
+    { x = "Unixbench pipe-based ctxsw"; value = nrm look "ctxsw" };
+    { x = "Apache (1KB page)"; value = nrm look "apache1k" };
   ]
 
 (* Fig. 8: Apache throughput across served page sizes. *)
-let fig8 ?(defense = Defense.split_standalone) ?(sizes_kb = [ 1; 2; 4; 8; 16; 32; 64; 128 ]) () =
+let fig8 ?obs ?jobs ?(defense = Defense.split_standalone)
+    ?(sizes_kb = [ 1; 2; 4; 8; 16; 32; 64; 128 ]) () =
+  let keyed =
+    List.concat_map
+      (fun size_kb ->
+        vs (Fmt.str "apache%dk" size_kb) ~defense (fun d ->
+            apache_spec ~defense:d ~size:(kb size_kb) ~requests:apache_requests))
+      sizes_kb
+  in
+  let look = lookup_of ?obs ?jobs keyed in
   List.map
     (fun size_kb ->
-      {
-        x = Fmt.str "%dKB" size_kb;
-        value = apache_normalized ~defense ~size:(kb size_kb) ~requests:apache_requests;
-      })
+      { x = Fmt.str "%dKB" size_kb; value = nrm look (Fmt.str "apache%dk" size_kb) })
     sizes_kb
 
 (* Fig. 9: pipe-based context switching with only a fraction of pages
-   split, the rest protected by the execute-disable bit. *)
-let fig9 ?(fractions = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]) () =
+   split, the rest protected by the execute-disable bit. The unprotected
+   baseline machine is identical for every fraction, so it runs once. *)
+let fig9 ?obs ?jobs ?(fractions = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]) () =
+  let keyed =
+    ("base", ctxsw_spec ~defense:Defense.unprotected ~iters:ctxsw_iters)
+    :: List.map
+         (fun pct ->
+           ( Fmt.str "split%d" pct,
+             ctxsw_spec ~defense:(Defense.split_fraction pct) ~iters:ctxsw_iters ))
+         fractions
+  in
+  let look = lookup_of ?obs ?jobs keyed in
   List.map
     (fun pct ->
       {
         x = Fmt.str "%d%%" pct;
-        value = ctxsw_normalized ~defense:(Defense.split_fraction pct) ~iters:ctxsw_iters;
+        value = Harness.normalized ~baseline:(look "base") (look (Fmt.str "split%d" pct));
       })
     fractions
 
 (* Memory-overhead ablation: the prototype's eager splitting doubles the
    resident image; demand paging (§5.1's proposed optimization) only
    duplicates touched pages. *)
-let memory_overhead () =
+let memory_overhead ?jobs () =
   let image = Guests.sparse ~data_pages:32 ~touch_pages:2 () in
-  let unprot = Harness.run_single ~defense:Defense.unprotected ~eager:true image in
-  let eager = Harness.run_single ~defense:Defense.split_standalone ~eager:true image in
-  let demand = Harness.run_single ~defense:Defense.split_standalone ~eager:false image in
-  (unprot.peak_frames, eager.peak_frames, demand.peak_frames)
+  match
+    Harness.run_fleet_exn ?jobs
+      [
+        Harness.single ~label:"sparse/unprot" ~eager:true ~defense:Defense.unprotected image;
+        Harness.single ~label:"sparse/eager" ~eager:true ~defense:Defense.split_standalone
+          image;
+        Harness.single ~label:"sparse/demand" ~defense:Defense.split_standalone image;
+      ]
+  with
+  | [ unprot; eager; demand ] ->
+    (unprot.peak_frames, eager.peak_frames, demand.peak_frames)
+  | _ -> assert false
 
 (* ITLB-load-method ablation: the paper's surprising §4.2.4 finding that a
    ret-gadget ITLB load is slower than single-stepping. With the cache
    timing model enabled, the slowdown emerges mechanistically: each gadget
    plant/restore is a store into a cached instruction line, paying the
    coherency invalidation + pipeline flush. *)
-let itlb_method_ablation ?(iters = 250) () =
-  let run itlb_load =
-    let protection = Split_memory.protection ~itlb_load () in
-    let k = Kernel.Os.create ~caches:true ~protection () in
-    let ping = Kernel.Os.spawn k (Guests.ctxsw_ping ~iters ()) in
-    let pong = Kernel.Os.spawn k (Guests.ctxsw_pong ()) in
-    Kernel.Os.connect k ping pong;
-    match Kernel.Os.run ~fuel:100_000_000 k with
-    | Kernel.Os.All_exited -> (Kernel.Os.cost k).cycles
-    | _ -> raise (Harness.Did_not_finish "itlb ablation")
+let itlb_method_ablation ?jobs ?(iters = 250) () =
+  let spec_of itlb_load name =
+    Harness.spec ~label:("itlb-" ^ name)
+      ~protection:(Split_memory.protection ~itlb_load ())
+      ~caches:true
+      ~wiring:(Harness.Pipeline { capacity = None })
+      ~defense:Defense.split_standalone
+      [ Harness.guest (Guests.ctxsw_ping ~iters ()); Harness.guest (Guests.ctxsw_pong ()) ]
   in
-  (run Split_memory.Single_step, run Split_memory.Ret_gadget)
+  match
+    Harness.run_fleet_exn ?jobs
+      [ spec_of Split_memory.Single_step "single-step";
+        spec_of Split_memory.Ret_gadget "ret-gadget" ]
+  with
+  | [ single_step; ret_gadget ] -> (single_step.cycles, ret_gadget.cycles)
+  | _ -> assert false
 
-(* Software-managed-TLB port ablation (paper §4.7): the same protection on
-   SPARC-style hardware needs no single-stepping and no walk tricks, so the
-   overhead should be noticeably lower. Each configuration is normalized
-   against the stock kernel on its own hardware. *)
 (* All three implementation mechanisms of the split architecture, on the
    context-switch stress test, each normalized to the stock kernel on its
    own hardware: the software x86 exploit (Algorithms 1-2), the §4.7
    software-TLB port, and the §3.3.1 dual-pagetable hardware. *)
-let mechanisms_ablation ?(iters = ctxsw_iters) () =
-  let ratio ~base ~prot =
-    let b = run_ctxsw ~defense:base ~iters () in
-    let p = run_ctxsw ~defense:prot ~iters () in
-    Harness.normalized ~baseline:b p
+let mechanisms_ablation ?jobs ?(iters = ctxsw_iters) () =
+  let rows =
+    [
+      ("x86 tlb-desync (software patch)", Defense.unprotected, Defense.split_standalone);
+      ("soft-tlb port (S4.7)", Defense.unprotected_soft_tlb, Defense.split_soft_tlb);
+      ("dual-CR3 hardware (S3.3.1)", Defense.unprotected, Defense.split_dual_cr3);
+    ]
   in
-  [
-    ("x86 tlb-desync (software patch)",
-     ratio ~base:Defense.unprotected ~prot:Defense.split_standalone);
-    ("soft-tlb port (S4.7)",
-     ratio ~base:Defense.unprotected_soft_tlb ~prot:Defense.split_soft_tlb);
-    ("dual-CR3 hardware (S3.3.1)",
-     ratio ~base:Defense.unprotected ~prot:Defense.split_dual_cr3);
-  ]
+  let keyed =
+    List.concat_map
+      (fun (name, base, prot) ->
+        [
+          (name ^ "|base", ctxsw_spec ~defense:base ~iters);
+          (name ^ "|prot", ctxsw_spec ~defense:prot ~iters);
+        ])
+      rows
+  in
+  let look = lookup_of ?jobs keyed in
+  List.map (fun (name, _, _) -> (name, nrm look name)) rows
 
-let soft_tlb_ablation ?(iters = ctxsw_iters) () =
-  let ratio ~base ~prot =
-    let b = run_ctxsw ~defense:base ~iters () in
-    let p = run_ctxsw ~defense:prot ~iters () in
-    Harness.normalized ~baseline:b p
-  in
-  let desync = ratio ~base:Defense.unprotected ~prot:Defense.split_standalone in
-  let soft = ratio ~base:Defense.unprotected_soft_tlb ~prot:Defense.split_soft_tlb in
-  (desync, soft)
+let soft_tlb_ablation ?jobs ?(iters = ctxsw_iters) () =
+  match mechanisms_ablation ?jobs ~iters () with
+  | (_, desync) :: (_, soft) :: _ -> (desync, soft)
+  | _ -> assert false
 
 (* Design-space sweep: how the stand-alone overhead depends on TLB reach.
    Larger TLBs do not help — every context switch flushes them, and it is
    the refill (a trap per split page) that costs; the sweep demonstrates
    the overhead is flush-driven, not capacity-driven. *)
-let tlb_capacity_sweep ?(capacities = [ 8; 16; 32; 64; 128 ]) ?(iters = 150) () =
-  List.map
-    (fun cap ->
-      let run defense =
-        let protection = Defense.to_protection defense in
-        let k =
-          Kernel.Os.create ~itlb_capacity:cap ~dtlb_capacity:cap ~protection ()
-        in
-        let ping = Kernel.Os.spawn k (Guests.ctxsw_ping ~iters ()) in
-        let pong = Kernel.Os.spawn k (Guests.ctxsw_pong ()) in
-        Kernel.Os.connect k ping pong;
-        match Kernel.Os.run ~fuel:100_000_000 k with
-        | Kernel.Os.All_exited -> (Kernel.Os.cost k).cycles
-        | _ -> raise (Harness.Did_not_finish "tlb sweep")
-      in
-      let base = run Defense.unprotected in
-      let prot = run Defense.split_standalone in
-      (cap, float_of_int base /. float_of_int prot))
-    capacities
+let tlb_capacity_sweep ?jobs ?(capacities = [ 8; 16; 32; 64; 128 ]) ?(iters = 150) () =
+  let spec_of cap defense =
+    Harness.spec
+      ~label:(Fmt.str "tlb%d" cap)
+      ~itlb_capacity:cap ~dtlb_capacity:cap
+      ~wiring:(Harness.Pipeline { capacity = None })
+      ~defense
+      [ Harness.guest (Guests.ctxsw_ping ~iters ()); Harness.guest (Guests.ctxsw_pong ()) ]
+  in
+  let keyed =
+    List.concat_map
+      (fun cap ->
+        [
+          (Fmt.str "tlb%d|base" cap, spec_of cap Defense.unprotected);
+          (Fmt.str "tlb%d|prot" cap, spec_of cap Defense.split_standalone);
+        ])
+      capacities
+  in
+  let look = lookup_of ?jobs keyed in
+  List.map (fun cap -> (cap, nrm look (Fmt.str "tlb%d" cap))) capacities

@@ -14,6 +14,13 @@ type result = {
 
 exception Did_not_finish of string
 
+(* Fleet workers stringify job exceptions with [Printexc.to_string]; give
+   the one exception experiments actually raise a readable rendering. *)
+let () =
+  Printexc.register_printer (function
+    | Did_not_finish msg -> Some ("Did_not_finish: " ^ msg)
+    | _ -> None)
+
 let snapshot ~label ~defense (k : Kernel.Os.t) =
   let c = Kernel.Os.cost k in
   let mmu = Kernel.Os.mmu k in
@@ -37,28 +44,144 @@ let finish ~label ~defense k ~fuel =
   | Kernel.Os.All_blocked -> raise (Did_not_finish (label ^ ": deadlocked"))
   | Kernel.Os.Fuel_exhausted -> raise (Did_not_finish (label ^ ": fuel exhausted"))
 
-let run_single_k ?(frames = 16384) ?(fuel = 100_000_000) ?(eager = false)
-    ?(obs = Obs.null) ~defense image =
-  let protection = Defense.to_protection defense in
-  let k =
-    Kernel.Os.create ~frames ~tlb_fill:(Defense.tlb_fill defense) ~obs ~protection ()
+(* --- experiment specs ---------------------------------------------------- *)
+
+type guest = { image : Kernel.Image.t; eager : bool; protected : bool }
+
+type wiring = Isolated | Pipeline of { capacity : int option }
+
+type spec = {
+  label : string;
+  defense : Defense.t;
+  protection : Kernel.Protection.t option;
+  tlb_fill : Hw.Mmu.fill_mode option;
+  frames : int;
+  fuel : int;
+  quantum : int option;
+  seed : int option;
+  itlb_capacity : int option;
+  dtlb_capacity : int option;
+  caches : bool;
+  wiring : wiring;
+  guests : guest list;
+}
+
+let guest ?(eager = false) ?(protected = true) image = { image; eager; protected }
+
+let spec ?label ?protection ?tlb_fill ?(frames = 16384) ?(fuel = 100_000_000)
+    ?quantum ?seed ?itlb_capacity ?dtlb_capacity ?(caches = false)
+    ?(wiring = Isolated) ~defense guests =
+  let label =
+    match (label, guests) with
+    | Some l, _ -> l
+    | None, g :: _ -> g.image.Kernel.Image.name
+    | None, [] -> invalid_arg "Harness.spec: no guests"
   in
-  let _p = Kernel.Os.spawn ~eager k image in
-  (finish ~label:image.Kernel.Image.name ~defense:(Defense.name defense) k ~fuel, k)
+  {
+    label;
+    defense;
+    protection;
+    tlb_fill;
+    frames;
+    fuel;
+    quantum;
+    seed;
+    itlb_capacity;
+    dtlb_capacity;
+    caches;
+    wiring;
+    guests;
+  }
+
+let single ?label ?frames ?fuel ?eager ?protected ?seed ~defense image =
+  spec ?label ?frames ?fuel ?seed ~defense [ guest ?eager ?protected image ]
+
+let pair ?label ?frames ?fuel ?capacity ?seed ~defense server client =
+  spec ?label ?frames ?fuel ?seed ~wiring:(Pipeline { capacity }) ~defense
+    [ guest server; guest client ]
+
+let build ?(obs = Obs.null) s =
+  let protection =
+    match s.protection with Some p -> p | None -> Defense.to_protection s.defense
+  in
+  let tlb_fill =
+    match s.tlb_fill with Some f -> f | None -> Defense.tlb_fill s.defense
+  in
+  let k =
+    Kernel.Os.create ~frames:s.frames ~tlb_fill ?quantum:s.quantum ?seed:s.seed
+      ?itlb_capacity:s.itlb_capacity ?dtlb_capacity:s.dtlb_capacity
+      ~caches:s.caches ~obs ~protection ()
+  in
+  let procs =
+    List.map
+      (fun g -> Kernel.Os.spawn ~eager:g.eager ~protected:g.protected k g.image)
+      s.guests
+  in
+  (match s.wiring with
+  | Isolated -> ()
+  | Pipeline { capacity } ->
+    let rec wire = function
+      | a :: b :: rest ->
+        Kernel.Os.connect ?capacity k a b;
+        wire rest
+      | [ _ ] | [] -> ()
+    in
+    wire procs);
+  k
+
+let run_k ?obs s =
+  let k = build ?obs s in
+  (finish ~label:s.label ~defense:(Defense.name s.defense) k ~fuel:s.fuel, k)
+
+let run ?obs s = fst (run_k ?obs s)
+
+(* --- fleet execution ----------------------------------------------------- *)
+
+(* Each job gets its own machine and its own obs sink (specs never carry an
+   [Obs.t]: a sink is mutable and must not be shared across domains). The
+   per-job registries are folded into the caller's sink in submission
+   order after the workers join, so the aggregate is identical for every
+   [jobs] value. *)
+let run_fleet_stats ?(obs = Obs.null) ?jobs specs =
+  let live = Obs.enabled obs in
+  let results, stats =
+    Fleet.map_stats ~obs ?jobs
+      ~label:(fun s -> s.label)
+      (fun s ->
+        let job_obs = if live then Obs.create () else Obs.null in
+        (run ~obs:job_obs s, job_obs))
+      specs
+  in
+  let results =
+    List.map
+      (function
+        | Ok (r, job_obs) ->
+          if live then Obs.merge_metrics ~into:obs job_obs;
+          Ok r
+        | Error (e : Fleet.error) -> Error e)
+      results
+  in
+  (results, stats)
+
+let run_fleet ?obs ?jobs specs = fst (run_fleet_stats ?obs ?jobs specs)
+
+let run_fleet_exn ?obs ?jobs specs =
+  List.map
+    (function
+      | Ok r -> r
+      | Error (e : Fleet.error) -> raise (Did_not_finish (e.label ^ ": " ^ e.reason)))
+    (run_fleet ?obs ?jobs specs)
+
+(* --- legacy entrypoints (thin wrappers over specs) ----------------------- *)
+
+let run_single_k ?frames ?fuel ?eager ?obs ~defense image =
+  run_k ?obs (single ?frames ?fuel ?eager ~defense image)
 
 let run_single ?frames ?fuel ?eager ?obs ~defense image =
   fst (run_single_k ?frames ?fuel ?eager ?obs ~defense image)
 
-let run_pair_k ?(frames = 16384) ?(fuel = 100_000_000) ?capacity ?(obs = Obs.null)
-    ~defense server client =
-  let protection = Defense.to_protection defense in
-  let k =
-    Kernel.Os.create ~frames ~tlb_fill:(Defense.tlb_fill defense) ~obs ~protection ()
-  in
-  let s = Kernel.Os.spawn k server in
-  let c = Kernel.Os.spawn k client in
-  Kernel.Os.connect ?capacity k s c;
-  (finish ~label:server.Kernel.Image.name ~defense:(Defense.name defense) k ~fuel, k)
+let run_pair_k ?frames ?fuel ?capacity ?obs ~defense server client =
+  run_k ?obs (pair ?frames ?fuel ?capacity ~defense server client)
 
 let run_pair ?frames ?fuel ?capacity ?obs ~defense server client =
   fst (run_pair_k ?frames ?fuel ?capacity ?obs ~defense server client)

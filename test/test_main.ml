@@ -15,6 +15,7 @@ let () =
       ("realworld", Test_realworld.suite);
       ("bypass", Test_bypass.suite);
       ("workload", Test_workload.suite);
+      ("fleet", Test_fleet.suite);
       ("properties", Test_props.suite);
       ("cache", Test_cache.suite);
       ("stress", Test_stress.suite);

@@ -38,19 +38,23 @@ let test_protection_costs_cycles () =
   Alcotest.(check bool) "single steps occurred" true (prot.single_steps > 0)
 
 let test_normalized_in_range () =
-  let v = Workload.Figures.ctxsw_normalized ~defense:Defense.split_standalone ~iters:30 in
+  let v = Workload.Figures.ctxsw_normalized ~defense:Defense.split_standalone ~iters:30 () in
   Alcotest.(check bool) "in (0, 1.02]" true (v > 0.0 && v <= 1.02)
 
 let test_apache_size_trend () =
   (* larger served pages dilute the per-request protection overhead *)
-  let n size = Workload.Figures.apache_normalized ~defense:Defense.split_standalone ~size ~requests:8 in
+  let n size =
+    Workload.Figures.apache_normalized ~defense:Defense.split_standalone ~size ~requests:8 ()
+  in
   let small = n 1024 and big = n 32768 in
   Alcotest.(check bool) (Fmt.str "1KB (%.2f) slower than 32KB (%.2f)" small big) true
     (small < big)
 
 let test_fraction_trend () =
   (* more pages split => slower; 0% is within noise of full speed *)
-  let v pct = Workload.Figures.ctxsw_normalized ~defense:(Defense.split_fraction pct) ~iters:60 in
+  let v pct =
+    Workload.Figures.ctxsw_normalized ~defense:(Defense.split_fraction pct) ~iters:60 ()
+  in
   let v0 = v 0 and v50 = v 50 and v100 = v 100 in
   Alcotest.(check bool) (Fmt.str "0%% near full speed (%.2f)" v0) true (v0 > 0.97);
   Alcotest.(check bool) (Fmt.str "monotone %.2f >= %.2f >= %.2f" v0 v50 v100) true
