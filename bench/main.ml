@@ -437,6 +437,88 @@ let calib () =
     (fun (n, v) -> out "  unixbench %-20s %.3f" n v)
     (Workload.Figures.unixbench_pieces ~jobs:!jobs ~defense:Defense.split_standalone ())
 
+(* --- allocation gate (minor words per simulated instruction) ------------- *)
+
+(* The MMU fast path keeps the CPU step loop nearly allocation-free; these
+   numbers watch it. Measured around the run only (machine construction
+   excluded), on one domain, so [Gc.minor_words] sees exactly the run's
+   allocations — deterministic for a given build. *)
+
+let quickstart_image () =
+  let open Isa.Asm in
+  Kernel.Image.build ~name:"greeter"
+    ~data:(fun ~lbl:_ -> [ L "msg"; Bytes "hello from the guest!\n" ])
+    ~code:(fun ~lbl ->
+      (L "main" :: Guest.sys_write_imm ~buf:(lbl "msg") ~len:22 ()) @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+let alloc_per_insn (s : Workload.Harness.spec) =
+  let k = Workload.Harness.build s in
+  let w0 = Gc.minor_words () in
+  ignore (Kernel.Os.run ~fuel:s.fuel k : Kernel.Os.stop_reason);
+  let w1 = Gc.minor_words () in
+  let insns = (Kernel.Os.cost k).insns in
+  (w1 -. w0) /. float_of_int insns
+
+(* "quickstart" is the README's greeter guest under stand-alone split
+   memory; "fig7_ctxsw" is the TLB-flush-heavy pipe context-switch stress
+   test, where per-step translation allocations dominate. *)
+let alloc_numbers () =
+  [
+    ( "quickstart",
+      alloc_per_insn
+        (Workload.Harness.single ~defense:Defense.split_standalone (quickstart_image ())) );
+    ( "fig7_ctxsw",
+      alloc_per_insn
+        (Workload.Figures.ctxsw_spec ~defense:Defense.split_standalone ~iters:250) );
+  ]
+
+let alloc () =
+  out "Minor-heap allocation per simulated instruction (run only):";
+  List.iter (fun (n, v) -> out "  %-12s %8.2f minor words/insn" n v) (alloc_numbers ())
+
+(* Gate against a committed baseline ("<name> <value>" lines); fails the
+   process when any number regresses more than 10%. *)
+let alloc_gate baseline_file =
+  let baseline =
+    let ic = open_in baseline_file in
+    let rec go acc =
+      match input_line ic with
+      | line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ name; v ] -> go ((name, float_of_string v) :: acc)
+        | _ -> go acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, got) ->
+      match List.assoc_opt name baseline with
+      | None ->
+        out "alloc-gate: %-12s %8.2f words/insn (no baseline; add it)" name got;
+        incr failures
+      | Some base ->
+        let limit = base *. 1.10 in
+        if got > limit then begin
+          out "alloc-gate: %-12s REGRESSED: %.2f words/insn vs baseline %.2f (+%.1f%%, limit +10%%)"
+            name got base
+            ((got /. base -. 1.) *. 100.);
+          incr failures
+        end
+        else begin
+          out "alloc-gate: %-12s ok: %.2f words/insn vs baseline %.2f (%+.1f%%)" name got
+            base
+            ((got /. base -. 1.) *. 100.);
+          if got < base *. 0.90 then
+            out "alloc-gate: %-12s improved >10%% — consider re-baselining" name
+        end)
+    (alloc_numbers ());
+  if !failures > 0 then exit 1
+
 (* --- machine-readable export (--json FILE) ------------------------------- *)
 
 (* Run the headline workloads under the stock and split kernels — fanned
@@ -444,10 +526,12 @@ let calib () =
    per-run counters (with per-job wall-clock), the fleet's own stats and
    the merged metrics registry as one JSON document.
 
-   Schema split-memory-bench/2: everything /1 had, plus "jobs" (the -j
-   used), per-benchmark "wall_us", and the "fleet" object (per-job
-   wall-times and the observed parallel speedup). /1 consumers keep
-   working: existing fields are unchanged, additions are additive. *)
+   Schema split-memory-bench/3: everything /2 had (which had everything /1
+   had, plus "jobs", per-benchmark "wall_us" and the "fleet" object), plus
+   the "alloc" object: minor-heap words allocated per simulated
+   instruction for the quickstart and fig-7 ctxsw workloads — the MMU
+   fast-path regression watch. Earlier consumers keep working: existing
+   fields are unchanged, additions are additive. *)
 let json_bench file =
   let module J = Obs.Json in
   let module F = Workload.Figures in
@@ -504,13 +588,20 @@ let json_bench file =
         ("job_us", J.List (Array.to_list (Array.map (fun us -> J.Int us) stats.job_us)));
       ]
   in
+  let alloc_json =
+    J.Obj
+      (List.map
+         (fun (n, v) -> (n ^ "_minor_words_per_insn", J.Float v))
+         (alloc_numbers ()))
+  in
   let doc =
     J.Obj
       [
-        ("schema", J.Str "split-memory-bench/2");
+        ("schema", J.Str "split-memory-bench/3");
         ("jobs", J.Int !jobs);
         ("benchmarks", J.List runs);
         ("fleet", fleet_json);
+        ("alloc", alloc_json);
         ("metrics", Obs.Metrics.to_json (Obs.snapshot obs));
       ]
   in
@@ -564,6 +655,7 @@ let () =
     | "limitations" -> limitations ()
     | "micro" -> micro ()
     | "snap" -> snap_exp ()
+    | "alloc" -> alloc ()
     | "calib" -> calib ()
     | "all" -> all_reproduction ()
     | other -> Fmt.epr "unknown experiment %S@." other
@@ -574,6 +666,12 @@ let () =
     List.iter dispatch rest
   | [ "--json" ] ->
     Fmt.epr "--json needs a FILE argument@.";
+    exit 1
+  | "--alloc-gate" :: file :: rest ->
+    alloc_gate file;
+    List.iter dispatch rest
+  | [ "--alloc-gate" ] ->
+    Fmt.epr "--alloc-gate needs a BASELINE argument@.";
     exit 1
   | [] -> all_reproduction ()
   | args -> List.iter dispatch args

@@ -129,6 +129,88 @@ let finish_obs obs ~metrics ~trace ~chrome =
       chrome
   end
 
+(* --strace: per-syscall tracing via the kernel's syscall_tracer hook *)
+
+let strace_arg =
+  Arg.(
+    value & flag
+    & info [ "strace" ]
+        ~doc:
+          "Print every syscall as it is dispatched (name, pid, arguments, result, \
+           service cycles), plus an $(b,strace -c)-style summary at exit.")
+
+type strace_row = { mutable st_calls : int; mutable st_cycles : int }
+
+(* Returns the machine hook to install (None when disabled) and the
+   end-of-run summary printer. *)
+let make_strace enabled =
+  if not enabled then (None, fun () -> ())
+  else begin
+    let tally : (string, strace_row) Hashtbl.t = Hashtbl.create 16 in
+    let trace (tr : Kernel.Machine.syscall_trace) =
+      let ebx, ecx, edx = tr.sys_args in
+      let result =
+        match tr.sys_outcome with
+        | Kernel.Machine.Returned v -> string_of_int v
+        | Kernel.Machine.Blocked -> "? (blocked)"
+        | Kernel.Machine.Exited -> "? (process exited)"
+      in
+      Fmt.pr "[pid %d] %s(0x%x, 0x%x, 0x%x) = %s <%d cycles>@." tr.sys_pid tr.sys_name
+        ebx ecx edx result tr.sys_cycles;
+      let row =
+        match Hashtbl.find_opt tally tr.sys_name with
+        | Some row -> row
+        | None ->
+          let row = { st_calls = 0; st_cycles = 0 } in
+          Hashtbl.add tally tr.sys_name row;
+          row
+      in
+      row.st_calls <- row.st_calls + 1;
+      row.st_cycles <- row.st_cycles + tr.sys_cycles
+    in
+    let tune k = Kernel.Os.set_syscall_tracer k (Some trace) in
+    let summary () =
+      let rows = Hashtbl.fold (fun name row acc -> (name, row) :: acc) tally [] in
+      if rows <> [] then begin
+        let rows =
+          List.sort
+            (fun (na, a) (nb, b) ->
+              match compare (b.st_cycles, b.st_calls) (a.st_cycles, a.st_calls) with
+              | 0 -> compare na nb
+              | c -> c)
+            rows
+        in
+        let total_cycles = List.fold_left (fun s (_, r) -> s + r.st_cycles) 0 rows in
+        let total_calls = List.fold_left (fun s (_, r) -> s + r.st_calls) 0 rows in
+        let pct c =
+          if total_cycles = 0 then 0.
+          else 100. *. float_of_int c /. float_of_int total_cycles
+        in
+        print_string
+          (Report.table ~title:"strace summary"
+             ~header:[ "% time"; "cycles"; "calls"; "syscall" ]
+             (List.map
+                (fun (name, r) ->
+                  [
+                    Fmt.str "%.2f" (pct r.st_cycles);
+                    string_of_int r.st_cycles;
+                    string_of_int r.st_calls;
+                    name;
+                  ])
+                rows
+             @ [
+                 [
+                   "100.00";
+                   string_of_int total_cycles;
+                   string_of_int total_calls;
+                   "total";
+                 ];
+               ]))
+      end
+    in
+    (Some tune, summary)
+  end
+
 (* The machine's own counters, printed after every attack/workload run. *)
 let show_machine (k : Kernel.Os.t) =
   let mmu = Kernel.Os.mmu k in
@@ -157,33 +239,35 @@ let attack_arg =
         ~doc:"One of: apache, bind, proftpd, samba, wuftpd, nx-bypass, mixed-page.")
 
 let attack_cmd =
-  let run defense response metrics trace chrome which =
+  let run defense response metrics trace chrome strace which =
     let defense = apply_response defense response in
     let obs = make_obs ~metrics ~trace ~chrome in
+    let tune, strace_summary = make_strace strace in
     (match which with
     | `Real Attack.Realworld.Wuftpd ->
-      let o, s = Attack.Realworld.run_wuftpd ~defense ~obs () in
+      let o, s = Attack.Realworld.run_wuftpd ~defense ~obs ?tune () in
       show_outcome_and_log o s.k;
       show_machine s.k
     | `Real id ->
-      let o, s = Attack.Realworld.run_session ~defense ~obs id in
+      let o, s = Attack.Realworld.run_session ~defense ~obs ?tune id in
       Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o);
       Option.iter (fun (s : Attack.Runner.session) -> show_machine s.k) s
     | `Nx_bypass ->
-      let o, s = Attack.Bypass.run_nx_bypass_session ~defense ~obs () in
+      let o, s = Attack.Bypass.run_nx_bypass_session ~defense ~obs ?tune () in
       Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o);
       show_machine s.k
     | `Mixed ->
-      let o, s = Attack.Bypass.run_mixed_page_session ~defense ~obs () in
+      let o, s = Attack.Bypass.run_mixed_page_session ~defense ~obs ?tune () in
       Fmt.pr "outcome: %s@." (Attack.Runner.outcome_name o);
       show_machine s.k);
+    strace_summary ();
     finish_obs obs ~metrics ~trace ~chrome
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a real-world attack simulation under a defense.")
     Term.(
       const run $ defense_arg $ response_arg $ metrics_arg $ trace_arg $ chrome_arg
-      $ attack_arg)
+      $ strace_arg $ attack_arg)
 
 (* grid command *)
 
@@ -236,9 +320,9 @@ let jobs_arg =
 (* Shared by the workload and stats commands: every workload is built as a
    first-class experiment spec and executed with the kernel in hand so the
    machine counters (cost, TLBs) can be printed. *)
-let exec_workload ~obs ~jobs ~defense which =
+let exec_workload ?tune ~obs ~jobs ~defense which =
   let show_spec spec =
-    let (r : Workload.Harness.result), k = Workload.Harness.run_k ~obs spec in
+    let (r : Workload.Harness.result), k = Workload.Harness.run_k ~obs ?tune spec in
     Fmt.pr
       "%s under %s: %d cycles, %d insns, %d traps, %d split faults, %d ctx switches@."
       r.label r.defense r.cycles r.insns r.traps r.split_faults r.ctx_switches;
@@ -252,22 +336,26 @@ let exec_workload ~obs ~jobs ~defense which =
   | `Ctxsw -> show_spec (Workload.Figures.ctxsw_spec ~defense ~iters:250)
   | `Unixbench ->
     (* The only multi-machine workload: fan its pieces over the fleet. *)
+    if Option.is_some tune then
+      Fmt.epr "simctl: --strace is not supported for fleet workloads; ignored@.";
     let jobs = match jobs with Some j -> j | None -> Fleet.default_jobs () in
     List.iter
       (fun (name, v) -> Fmt.pr "%-20s %.3f@." name v)
       (Workload.Figures.unixbench_pieces ~jobs ~defense ())
 
 let workload_cmd =
-  let run defense jobs metrics trace chrome which =
+  let run defense jobs metrics trace chrome strace which =
     let obs = make_obs ~metrics ~trace ~chrome in
-    exec_workload ~obs ~jobs ~defense which;
+    let tune, strace_summary = make_strace strace in
+    exec_workload ?tune ~obs ~jobs ~defense which;
+    strace_summary ();
     finish_obs obs ~metrics ~trace ~chrome
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a benchmark workload under a defense and print counters.")
     Term.(
       const run $ defense_arg $ jobs_arg $ metrics_arg $ trace_arg $ chrome_arg
-      $ workload_arg)
+      $ strace_arg $ workload_arg)
 
 (* stats command: the workload run with the full observability readout *)
 

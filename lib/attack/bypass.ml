@@ -77,9 +77,9 @@ let plugin_host () =
       @ [ I (Mov_rr (ESP, EBP)); I (Pop EBP); I Ret ])
     ~entry:"main" ()
 
-let run_nx_bypass_session ?defense ?obs () =
+let run_nx_bypass_session ?defense ?obs ?tune () =
   let image = plugin_host () in
-  let s = Runner.start ?defense ?obs image in
+  let s = Runner.start ?defense ?obs ?tune image in
   (* The mmap region base is deterministic: first mmap in the process. *)
   let plugin_base = Kernel.Layout.mmap_base in
   let code = Shellcode.execve_bin_sh ~sled:16 ~base:plugin_base () in
@@ -130,9 +130,9 @@ let jit_victim () =
       @ Guest.sys_exit 0)
     ~entry:"main" ()
 
-let run_mixed_page_session ?defense ?obs () =
+let run_mixed_page_session ?defense ?obs ?tune () =
   let image = jit_victim () in
-  let s = Runner.start ?defense ?obs image in
+  let s = Runner.start ?defense ?obs ?tune image in
   let mbuf = Kernel.Image.label image "mbuf" in
   let code = Shellcode.execve_bin_sh ~sled:8 ~base:mbuf () in
   let payload =

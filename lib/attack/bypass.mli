@@ -12,7 +12,11 @@ val run_nx_bypass : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
     and the copied code never reaches the code copy. *)
 
 val run_nx_bypass_session :
-  ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome * Runner.session
+  ?defense:Defense.t ->
+  ?obs:Obs.t ->
+  ?tune:(Kernel.Os.t -> unit) ->
+  unit ->
+  Runner.outcome * Runner.session
 
 val jit_victim : unit -> Kernel.Image.t
 (** Victim keeping code and data on the same writable, executable page
@@ -22,4 +26,8 @@ val run_mixed_page : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
 (** Overflow within the mixed page; NX cannot mark it non-executable. *)
 
 val run_mixed_page_session :
-  ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome * Runner.session
+  ?defense:Defense.t ->
+  ?obs:Obs.t ->
+  ?tune:(Kernel.Os.t -> unit) ->
+  unit ->
+  Runner.outcome * Runner.session

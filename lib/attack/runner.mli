@@ -17,12 +17,15 @@ val is_foiled : outcome -> bool
 type session = { k : Kernel.Os.t; victim : Kernel.Proc.t }
 
 (** [start image] spawns [image] under [defense]; [obs] (default
-    [Obs.null]) threads a live trace/metrics sink into the kernel. *)
+    [Obs.null]) threads a live trace/metrics sink into the kernel. [tune]
+    runs on the freshly built kernel before the exploit drives it — e.g.
+    installing a syscall tracer ([Kernel.Os.set_syscall_tracer]). *)
 val start :
   ?defense:Defense.t ->
   ?stack_jitter_pages:int ->
   ?seed:int ->
   ?obs:Obs.t ->
+  ?tune:(Kernel.Os.t -> unit) ->
   Kernel.Image.t ->
   session
 

@@ -30,6 +30,12 @@ let pp_fault ppf = function
 
 type step = { outcome : (event, fault) result; debug_trap : bool }
 
+(* Preallocated results for the overwhelmingly common case: a retired
+   instruction produces no fresh step record at all. *)
+let ok_retired : (event, fault) result = Ok Retired
+let retired_step = { outcome = ok_retired; debug_trap = false }
+let retired_step_db = { outcome = ok_retired; debug_trap = true }
+
 let set_flags r v =
   let v = mask32 v in
   r.zf <- v = 0;
@@ -47,17 +53,17 @@ let step mmu (r : regs) =
   let tf_at_start = r.tf in
   let exec () =
     let eip = r.eip in
-    let fetch a = Mmu.fetch8 mmu ~from_user:true a in
+    let fetch a = Mmu.fetch8_fast mmu ~from_user:true a in
     match Isa.Decode.decode ~fetch eip with
     | Error (Isa.Decode.Bad_opcode op) -> Error (Invalid_opcode { eip; opcode = op })
     | Error (Isa.Decode.Bad_register v) ->
       Error (General_protection (Fmt.str "bad register field %d at eip=0x%08x" v eip))
     | Ok insn -> (
       let next = eip + Isa.Insn.size insn in
-      let rd32 a = Mmu.read32 mmu ~from_user:true a in
-      let wr32 a v = Mmu.write32 mmu ~from_user:true a v in
-      let rd8 a = Mmu.read8 mmu ~from_user:true a in
-      let wr8 a v = Mmu.write8 mmu ~from_user:true a v in
+      let rd32 a = Mmu.read32_fast mmu ~from_user:true a in
+      let wr32 a v = Mmu.write32_fast mmu ~from_user:true a v in
+      let rd8 a = Mmu.read8_fast mmu ~from_user:true a in
+      let wr8 a v = Mmu.write8_fast mmu ~from_user:true a v in
       let push v =
         let sp = mask32 (get r ESP - 4) in
         wr32 sp v;
@@ -191,8 +197,13 @@ let step mmu (r : regs) =
         ~args:[ ("fault", Obs.Json.Str (Fmt.str "%a" pp_fault fault)) ]
   in
   match exec () with
+  | exception Mmu.Pending_fault ->
+    (* the fault record is materialized exactly once, here at the trap
+       boundary — the fast path below allocated nothing *)
+    { outcome = Error (Page (Mmu.pending_fault mmu)); debug_trap = false }
   | exception Mmu.Page_fault f -> { outcome = Error (Page f); debug_trap = false }
   | Error fault as e ->
     trace_trap fault;
     { outcome = e; debug_trap = false }
-  | Ok _ as ok -> { outcome = ok; debug_trap = tf_at_start }
+  | Ok Retired -> if tf_at_start then retired_step_db else retired_step
+  | Ok (Syscall _) as ok -> { outcome = ok; debug_trap = tf_at_start }

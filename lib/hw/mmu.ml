@@ -15,13 +15,33 @@ type fault = { addr : int; access : access; kind : fault_kind; from_user : bool 
 
 exception Page_fault of fault
 
+let fault_kind_name = function
+  | Not_present -> "not-present"
+  | Protection -> "protection"
+  | Tlb_miss -> "tlb-miss"
+
+(* The one fault formatter: Cpu.pp_fault and Kernel.Trap.pp route their
+   page-fault arm through here, so trap dispatch, the trace stream and
+   simctl all print the same key=value shape. *)
 let pp_fault ppf f =
-  Fmt.pf ppf "#PF addr=0x%08x %a %s %s" f.addr pp_access f.access
-    (match f.kind with
-    | Not_present -> "not-present"
-    | Protection -> "protection"
-    | Tlb_miss -> "tlb-miss")
+  Fmt.pf ppf "#PF addr=0x%08x access=%a kind=%s mode=%s" f.addr pp_access f.access
+    (fault_kind_name f.kind)
     (if f.from_user then "user" else "supervisor")
+
+(* Fault codes returned by [translate_result]. A physical address is always
+   >= 0, so the sign bit is a free discriminant: negative results are an
+   unboxed Error constructor with the fault kind as payload. *)
+let not_present_code = -1
+let protection_code = -2
+let tlb_miss_code = -3
+
+let fault_code_kind = function
+  | -1 -> Not_present
+  | -2 -> Protection
+  | -3 -> Tlb_miss
+  | c -> invalid_arg (Fmt.str "Mmu.fault_code_kind: %d is not a fault code" c)
+
+exception Pending_fault
 
 type t = {
   phys : Phys.t;
@@ -37,6 +57,14 @@ type t = {
   mutable icache : Cache.t option;
   mutable dcache : Cache.t option;
   mutable obs : Obs.t;
+  (* pending-fault registers: like x86's CR2, the details of the last fault
+     live in mutable registers instead of an allocated record, so the fast
+     path faults without touching the minor heap. [pending_fault]
+     materializes them on demand at the trap boundary. *)
+  mutable pend_addr : int;
+  mutable pend_access : access;
+  mutable pend_kind : fault_kind;
+  mutable pend_from_user : bool;
 }
 
 let no_pagetable _ = None
@@ -54,6 +82,10 @@ let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ~phys ~cost () =
     icache = None;
     dcache = None;
     obs = Obs.null;
+    pend_addr = 0;
+    pend_access = Read;
+    pend_kind = Not_present;
+    pend_from_user = false;
   }
 
 let phys t = t.phys
@@ -132,108 +164,162 @@ let invlpg t vpn =
 
 let mask32 = Isa.Encode.mask32
 
-(* Every architectural fault goes through here so the trace stream sees
-   them uniformly, whichever path raised. *)
-let raise_fault t (f : fault) =
+(* Every architectural fault latches through here so the pending registers
+   and the trace stream see them uniformly, whichever path detected it.
+   Returns the negative fault code for [translate_result]. *)
+let record_fault t ~addr ~access ~kind ~from_user =
+  t.pend_addr <- addr;
+  t.pend_access <- access;
+  t.pend_kind <- kind;
+  t.pend_from_user <- from_user;
   if Obs.enabled t.obs then begin
     Obs.count t.obs "mmu.faults";
     Obs.event t.obs ~cat:"hw" "mmu.fault"
       ~args:
         [
-          ("addr", Obs.Json.Int f.addr);
-          ("access", Obs.Json.Str (Fmt.str "%a" pp_access f.access));
-          ( "kind",
-            Obs.Json.Str
-              (match f.kind with
-              | Not_present -> "not-present"
-              | Protection -> "protection"
-              | Tlb_miss -> "tlb-miss") );
+          ("addr", Obs.Json.Int addr);
+          ("access", Obs.Json.Str (Fmt.str "%a" pp_access access));
+          ("kind", Obs.Json.Str (fault_kind_name kind));
         ]
   end;
-  raise (Page_fault f)
+  match kind with
+  | Not_present -> not_present_code
+  | Protection -> protection_code
+  | Tlb_miss -> tlb_miss_code
 
-let check_perms ~addr ~access ~from_user ~user ~writable ~nx t =
-  let fault kind = raise_fault t { addr; access; kind; from_user } in
-  if from_user && not user then fault Protection;
-  if access = Write && not writable then fault Protection;
-  if access = Fetch && t.nx_enabled && nx then fault Protection
+let pending_fault t =
+  {
+    addr = t.pend_addr;
+    access = t.pend_access;
+    kind = t.pend_kind;
+    from_user = t.pend_from_user;
+  }
 
-let translate t ~from_user access vaddr =
+(* The non-raising, non-allocating translation core. Permission checks keep
+   the x86 order (user, then write, then nx) and are performed against the
+   cached TLB entry on a hit and against the PTE on a miss; a violating
+   miss does not fill the TLB. *)
+let translate_result t ~from_user access vaddr =
   let vaddr = mask32 vaddr in
   let page_size = Phys.page_size t.phys in
   let vpn = vaddr / page_size in
-  let off = vaddr mod page_size in
   let tlb = match access with Fetch -> t.itlb | Read | Write -> t.dtlb in
-  match Tlb.lookup tlb vpn with
-  | Some e ->
-    check_perms ~addr:vaddr ~access ~from_user ~user:e.user ~writable:e.writable ~nx:e.nx t;
-    (e.frame, off)
-  | None when t.fill_mode = Software_fill ->
-    (* the hardware has no walker: trap to the OS miss handler *)
-    raise_fault t { addr = vaddr; access; kind = Tlb_miss; from_user }
-  | None -> (
-    Cost.charge_walk t.cost;
-    if Obs.enabled t.obs then begin
-      Obs.count t.obs "mmu.walks";
-      Obs.event t.obs ~cat:"hw" "mmu.walk"
-        ~args:
-          [
-            ("vpn", Obs.Json.Int vpn);
-            ("tlb", Obs.Json.Str (Tlb.name tlb));
-          ]
-    end;
-    let walk =
-      match (access, t.walk_code) with
-      | Fetch, Some wc -> wc
-      | (Fetch | Read | Write), _ -> t.walk
-    in
-    match walk vpn with
-    | None -> raise_fault t { addr = vaddr; access; kind = Not_present; from_user }
-    | Some p ->
-      if not p.present then
-        raise_fault t { addr = vaddr; access; kind = Not_present; from_user };
-      check_perms ~addr:vaddr ~access ~from_user ~user:p.user ~writable:p.writable ~nx:p.nx t;
-      if Obs.enabled t.obs then Obs.count t.obs "mmu.fills";
-      Tlb.insert tlb { vpn; frame = p.frame; user = p.user; writable = p.writable; nx = p.nx };
-      (p.frame, off))
+  match Tlb.find tlb vpn with
+  | (e : Tlb.entry) ->
+    if (from_user && not e.user)
+       || (access = Write && not e.writable)
+       || (access = Fetch && t.nx_enabled && e.nx)
+    then record_fault t ~addr:vaddr ~access ~kind:Protection ~from_user
+    else (e.frame * page_size) + (vaddr mod page_size)
+  | exception Not_found -> (
+    if t.fill_mode = Software_fill then
+      (* the hardware has no walker: trap to the OS miss handler *)
+      record_fault t ~addr:vaddr ~access ~kind:Tlb_miss ~from_user
+    else begin
+      Cost.charge_walk t.cost;
+      if Obs.enabled t.obs then begin
+        Obs.count t.obs "mmu.walks";
+        Obs.event t.obs ~cat:"hw" "mmu.walk"
+          ~args:[ ("vpn", Obs.Json.Int vpn); ("tlb", Obs.Json.Str (Tlb.name tlb)) ]
+      end;
+      let walk =
+        match (access, t.walk_code) with
+        | Fetch, Some wc -> wc
+        | (Fetch | Read | Write), _ -> t.walk
+      in
+      match walk vpn with
+      | None -> record_fault t ~addr:vaddr ~access ~kind:Not_present ~from_user
+      | Some p ->
+        if not p.present then record_fault t ~addr:vaddr ~access ~kind:Not_present ~from_user
+        else if
+          (from_user && not p.user)
+          || (access = Write && not p.writable)
+          || (access = Fetch && t.nx_enabled && p.nx)
+        then record_fault t ~addr:vaddr ~access ~kind:Protection ~from_user
+        else begin
+          if Obs.enabled t.obs then Obs.count t.obs "mmu.fills";
+          Tlb.insert tlb
+            { vpn; frame = p.frame; user = p.user; writable = p.writable; nx = p.nx };
+          (p.frame * page_size) + (vaddr mod page_size)
+        end
+    end)
 
-let fetch8 t ~from_user vaddr =
-  let frame, off = translate t ~from_user Fetch vaddr in
-  touch_icache t (Phys.addr t.phys ~frame ~off);
-  Phys.read8 t.phys ~frame ~off
+let translate t ~from_user access vaddr =
+  let pa = translate_result t ~from_user access vaddr in
+  if pa < 0 then raise (Page_fault (pending_fault t));
+  let page_size = Phys.page_size t.phys in
+  (pa / page_size, pa mod page_size)
 
-let read8 t ~from_user vaddr =
-  let frame, off = translate t ~from_user Read vaddr in
-  touch_dcache_read t (Phys.addr t.phys ~frame ~off);
-  Phys.read8 t.phys ~frame ~off
+(* Fast accessors for the CPU step loop: a fault raises the constant
+   [Pending_fault], so the whole miss path allocates nothing. The caller
+   materializes the fault record once, at the trap boundary, via
+   [pending_fault]. *)
 
-let write8 t ~from_user vaddr v =
-  let frame, off = translate t ~from_user Write vaddr in
-  touch_dcache_write t (Phys.addr t.phys ~frame ~off);
-  Phys.write8 t.phys ~frame ~off v
+let fetch8_fast t ~from_user vaddr =
+  let pa = translate_result t ~from_user Fetch vaddr in
+  if pa < 0 then raise Pending_fault;
+  touch_icache t pa;
+  Phys.read8_at t.phys pa
 
-let read32 t ~from_user vaddr =
+let read8_fast t ~from_user vaddr =
+  let pa = translate_result t ~from_user Read vaddr in
+  if pa < 0 then raise Pending_fault;
+  touch_dcache_read t pa;
+  Phys.read8_at t.phys pa
+
+let write8_fast t ~from_user vaddr v =
+  let pa = translate_result t ~from_user Write vaddr in
+  if pa < 0 then raise Pending_fault;
+  touch_dcache_write t pa;
+  Phys.write8_at t.phys pa v
+
+let read32_fast t ~from_user vaddr =
   let page_size = Phys.page_size t.phys in
   if mask32 vaddr mod page_size <= page_size - 4 then begin
-    let frame, off = translate t ~from_user Read vaddr in
-    touch_dcache_read t (Phys.addr t.phys ~frame ~off);
-    Phys.read32 t.phys ~frame ~off
+    let pa = translate_result t ~from_user Read vaddr in
+    if pa < 0 then raise Pending_fault;
+    touch_dcache_read t pa;
+    Phys.read32_at t.phys pa
   end
   else
-    let b i = read8 t ~from_user (vaddr + i) in
+    let b i = read8_fast t ~from_user (vaddr + i) in
     b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
 
-let write32 t ~from_user vaddr v =
+let write32_fast t ~from_user vaddr v =
   let page_size = Phys.page_size t.phys in
   if mask32 vaddr mod page_size <= page_size - 4 then begin
-    let frame, off = translate t ~from_user Write vaddr in
-    touch_dcache_write t (Phys.addr t.phys ~frame ~off);
-    Phys.write32 t.phys ~frame ~off v
+    let pa = translate_result t ~from_user Write vaddr in
+    if pa < 0 then raise Pending_fault;
+    touch_dcache_write t pa;
+    Phys.write32_at t.phys pa v
   end
   else
     for i = 0 to 3 do
-      write8 t ~from_user (vaddr + i) ((v lsr (8 * i)) land 0xFF)
+      write8_fast t ~from_user (vaddr + i) ((v lsr (8 * i)) land 0xFF)
     done
+
+(* Record-raising wrappers for existing callers (the kernel's copy loops,
+   tests, tools): same semantics as before the fast path existed. *)
+
+let fetch8 t ~from_user vaddr =
+  try fetch8_fast t ~from_user vaddr
+  with Pending_fault -> raise (Page_fault (pending_fault t))
+
+let read8 t ~from_user vaddr =
+  try read8_fast t ~from_user vaddr
+  with Pending_fault -> raise (Page_fault (pending_fault t))
+
+let write8 t ~from_user vaddr v =
+  try write8_fast t ~from_user vaddr v
+  with Pending_fault -> raise (Page_fault (pending_fault t))
+
+let read32 t ~from_user vaddr =
+  try read32_fast t ~from_user vaddr
+  with Pending_fault -> raise (Page_fault (pending_fault t))
+
+let write32 t ~from_user vaddr v =
+  try write32_fast t ~from_user vaddr v
+  with Pending_fault -> raise (Page_fault (pending_fault t))
 
 (* The pagetable-walk DTLB-load trick of Algorithm 1: with the PTE
    temporarily unrestricted, the kernel "reads a byte off the page", which

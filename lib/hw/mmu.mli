@@ -37,7 +37,13 @@ type fault = { addr : int; access : access; kind : fault_kind; from_user : bool 
 
 exception Page_fault of fault
 
+val fault_kind_name : fault_kind -> string
+
 val pp_fault : Format.formatter -> fault -> unit
+(** The canonical fault formatter ([#PF addr=... access=... kind=...
+    mode=...]). {!Cpu.pp_fault} and the kernel's trap pretty-printer route
+    their page-fault arm through this, so every layer prints faults the
+    same way. *)
 
 type t
 
@@ -91,6 +97,30 @@ val translate : t -> from_user:bool -> access -> int -> int * int
 (** [translate t ~from_user access vaddr] returns [(frame, offset)].
     @raise Page_fault on a missing or protection-violating translation. *)
 
+val translate_result : t -> from_user:bool -> access -> int -> int
+(** The non-raising, non-allocating fast path. The result is an unboxed
+    variant packed into an [int]: a physical address is always [>= 0], so
+    a non-negative result is the packed paddr ([frame * page_size + off],
+    decodable with {!Phys.frame_of_addr}/{!Phys.off_of_addr}) and a
+    negative result is a fault code whose kind {!fault_code_kind} recovers.
+    On a fault the details are latched into pending-fault registers (the
+    CR2 analogue) readable via {!pending_fault} — no [fault] record or
+    exception is allocated. *)
+
+val fault_code_kind : int -> fault_kind
+(** Decode a negative {!translate_result} code. Raises [Invalid_argument]
+    on anything that is not a fault code. *)
+
+val pending_fault : t -> fault
+(** Materialize the most recent fault from the pending registers. Only
+    meaningful immediately after a negative {!translate_result} or a
+    {!Pending_fault} raise; a later fault overwrites the registers. *)
+
+exception Pending_fault
+(** Constant (payload-free) exception raised by the [_fast] accessors so a
+    faulting access unwinds without allocating. Catch it and call
+    {!pending_fault} at the trap boundary. *)
+
 val fetch8 : t -> from_user:bool -> int -> int
 (** Instruction-side byte read (goes through the ITLB). *)
 
@@ -98,6 +128,15 @@ val read8 : t -> from_user:bool -> int -> int
 val write8 : t -> from_user:bool -> int -> int -> unit
 val read32 : t -> from_user:bool -> int -> int
 val write32 : t -> from_user:bool -> int -> int -> unit
+
+val fetch8_fast : t -> from_user:bool -> int -> int
+(** Like {!fetch8} but raises {!Pending_fault} instead of allocating a
+    [Page_fault]. The CPU step loop's accessor. *)
+
+val read8_fast : t -> from_user:bool -> int -> int
+val write8_fast : t -> from_user:bool -> int -> int -> unit
+val read32_fast : t -> from_user:bool -> int -> int
+val write32_fast : t -> from_user:bool -> int -> int -> unit
 
 val touch_read : t -> int -> unit
 (** Algorithm 1's DTLB load: user-mode read of one byte so the hardware

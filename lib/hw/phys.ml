@@ -75,3 +75,11 @@ let copy_frame t ~src ~dst =
 let addr t ~frame ~off = (frame * t.page_size) + off
 let frame_of_addr t a = a / t.page_size
 let off_of_addr t a = a mod t.page_size
+
+(* Physical-address accessors for the MMU fast path: callers that already
+   hold a packed paddr (frame * page_size + off) skip the (frame, off)
+   tuple round-trip. *)
+let read8_at t paddr = read8 t ~frame:(paddr / t.page_size) ~off:(paddr mod t.page_size)
+let write8_at t paddr v = write8 t ~frame:(paddr / t.page_size) ~off:(paddr mod t.page_size) v
+let read32_at t paddr = read32 t ~frame:(paddr / t.page_size) ~off:(paddr mod t.page_size)
+let write32_at t paddr v = write32 t ~frame:(paddr / t.page_size) ~off:(paddr mod t.page_size) v

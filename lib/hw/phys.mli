@@ -40,3 +40,12 @@ val blit_from_bytes : t -> frame:int -> Bytes.t -> len:int -> unit
 val addr : t -> frame:int -> off:int -> int
 val frame_of_addr : t -> int -> int
 val off_of_addr : t -> int -> int
+
+val read8_at : t -> int -> int
+(** [read8_at t paddr] reads the byte at a packed physical address
+    ([frame * page_size + off], i.e. {!addr}) without a (frame, off)
+    tuple. Used by the MMU fast path. *)
+
+val write8_at : t -> int -> int -> unit
+val read32_at : t -> int -> int
+val write32_at : t -> int -> int -> unit

@@ -40,6 +40,17 @@ let lookup t vpn =
     t.stats.misses <- t.stats.misses + 1;
     None
 
+(* Allocation-free hit path for the MMU fast path: no [Some] box per hit,
+   and [Not_found] is a constant exception. *)
+let find t vpn =
+  match Hashtbl.find t.table vpn with
+  | e ->
+    t.stats.hits <- t.stats.hits + 1;
+    e
+  | exception Not_found ->
+    t.stats.misses <- t.stats.misses + 1;
+    raise Not_found
+
 let peek t vpn = Hashtbl.find_opt t.table vpn
 
 (* FIFO replacement: the queue may contain vpns already invalidated; they are

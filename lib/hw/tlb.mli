@@ -28,6 +28,10 @@ val stats : t -> stats
 val lookup : t -> int -> entry option
 (** Lookup by virtual page number; updates hit/miss statistics. *)
 
+val find : t -> int -> entry
+(** Like {!lookup} but without the [option] box: raises the constant
+    [Not_found] on a miss. The MMU fast path's allocation-free lookup. *)
+
 val peek : t -> int -> entry option
 (** Lookup without touching statistics (for tests and assertions). *)
 

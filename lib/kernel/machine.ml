@@ -1,0 +1,542 @@
+(* The kernel's state layer: the machine record itself plus the memory and
+   process services every other kernel layer builds on (demand paging, COW,
+   kernel access to guest memory, loader, fork, teardown, consoles,
+   libraries). Trap routing lives in [Trap], syscall bodies in [Syscalls],
+   the run loop in [Sched]; [Os] composes them behind the stable facade. *)
+
+exception Rejected_image of string
+exception Efault
+
+(* A runtime-loadable library: code assembled ("prelinked") at a fixed
+   base shared by all processes, with its signature. *)
+type library = { lib_base : int; code : string; lib_signature : int }
+
+(* What the syscall layer reports to an installed tracer (simctl --strace):
+   one record per dispatched syscall, after the handler ran. *)
+type syscall_outcome = Returned of int | Blocked | Exited
+
+type syscall_trace = {
+  sys_number : int;
+  sys_name : string;
+  sys_pid : int;
+  sys_args : int * int * int;  (* ebx, ecx, edx at entry *)
+  sys_outcome : syscall_outcome;
+  sys_cycles : int;  (* service cycles, entry to return *)
+}
+
+(* Pre-resolved metric instruments for the hot paths of the scheduler loop
+   ([None] when observability is disabled, so the common case pays one
+   match per event at most). *)
+type hot = {
+  h_retired : Obs.Metrics.counter;
+  h_syscalls : Obs.Metrics.counter;
+  h_faults : Obs.Metrics.counter;
+  h_fault_cycles : Obs.Metrics.histogram;
+  h_syscall_cycles : Obs.Metrics.histogram;
+  h_faults_by_page : Obs.Metrics.labeled;
+  h_faults_by_pid : Obs.Metrics.labeled;
+  h_sys_by_name : Obs.Metrics.labeled;
+  h_sys_by_pid : Obs.Metrics.labeled;
+  h_traps_by_class : Obs.Metrics.labeled;
+}
+
+type t = {
+  phys : Hw.Phys.t;
+  alloc : Frame_alloc.t;
+  mmu : Hw.Mmu.t;
+  cost : Hw.Cost.t;
+  log : Event_log.t;
+  protection : Protection.t;
+  procs : (int, Proc.t) Hashtbl.t;
+  libraries : (string, library) Hashtbl.t;
+  mutable lib_cursor : int;
+  runq : int Queue.t;
+  mutable rng : Random.State.t;
+  page_size : int;
+  quantum : int;
+  stack_jitter_pages : int;
+  verify_signatures : bool;
+  mutable last_running : int option;
+  mutable next_pid : int;
+  mutable next_tick : int;
+  mutable ticks : int;
+  obs : Obs.t;
+  hot : hot option;
+  scratch : Bytes.t;  (* page-sized staging buffer for demand paging *)
+  mutable sched_hook : (unit -> unit) option;
+  mutable syscall_tracer : (syscall_trace -> unit) option;
+}
+
+(* Import the point-in-time hardware statistics as gauges, so a metrics
+   snapshot carries the TLB/cache/cost view without double-counting on the
+   hot paths (the hardware already maintains these). *)
+let install_snapshot_hook obs mmu (cost : Hw.Cost.t) =
+  Obs.add_snapshot_hook obs (fun () ->
+      let reg = Obs.metrics obs in
+      let set name v = Obs.Metrics.set_gauge (Obs.Metrics.gauge reg name) v in
+      let seti name v = set name (float_of_int v) in
+      let tlb prefix t =
+        let s = Hw.Tlb.stats t in
+        seti (prefix ^ ".hits") s.hits;
+        seti (prefix ^ ".misses") s.misses;
+        seti (prefix ^ ".flushes") s.flushes;
+        seti (prefix ^ ".invalidations") s.invalidations;
+        seti (prefix ^ ".evictions") s.evictions;
+        set (prefix ^ ".hit_rate") (Hw.Tlb.hit_rate t)
+      in
+      tlb "tlb.itlb" (Hw.Mmu.itlb mmu);
+      tlb "tlb.dtlb" (Hw.Mmu.dtlb mmu);
+      let cache prefix c =
+        match c with
+        | None -> ()
+        | Some c ->
+          let s = Hw.Cache.stats c in
+          seti (prefix ^ ".hits") s.hits;
+          seti (prefix ^ ".misses") s.misses;
+          seti (prefix ^ ".flushes") s.flushes;
+          seti (prefix ^ ".invalidations") s.invalidations;
+          set (prefix ^ ".hit_rate") (Hw.Cache.hit_rate c)
+      in
+      cache "cache.icache" (Hw.Mmu.icache mmu);
+      cache "cache.dcache" (Hw.Mmu.dcache mmu);
+      seti "cost.cycles" cost.cycles;
+      seti "cost.insns" cost.insns;
+      seti "cost.traps" cost.traps;
+      seti "cost.split_faults" cost.split_faults;
+      seti "cost.single_steps" cost.single_steps;
+      seti "cost.syscalls" cost.syscalls;
+      seti "cost.ctx_switches" cost.ctx_switches)
+
+let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
+    ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?(stack_jitter_pages = 0)
+    ?(verify_signatures = true) ?(seed = 7) ?(tlb_fill = Hw.Mmu.Hardware_walk)
+    ?(caches = false) ?(obs = Obs.null) ~protection () =
+  let phys = Hw.Phys.create ~page_size ~frames () in
+  let cost = Hw.Cost.create ?params:cost_params () in
+  let mmu = Hw.Mmu.create ~itlb_capacity ~dtlb_capacity ~phys ~cost () in
+  Hw.Mmu.set_nx mmu protection.Protection.nx_hardware;
+  Hw.Mmu.set_fill_mode mmu tlb_fill;
+  if caches then Hw.Mmu.enable_caches mmu;
+  let log = Event_log.create () in
+  let hot =
+    if not (Obs.enabled obs) then None
+    else begin
+      Obs.set_clock obs (fun () -> cost.cycles);
+      Hw.Mmu.set_obs mmu obs;
+      Event_log.attach_obs log obs;
+      install_snapshot_hook obs mmu cost;
+      Some
+        {
+          h_retired = Obs.counter obs "cpu.retired";
+          h_syscalls = Obs.counter obs "os.syscalls";
+          h_faults = Obs.counter obs "os.page_faults";
+          h_fault_cycles = Obs.histogram obs "os.fault_service_cycles";
+          h_syscall_cycles = Obs.histogram obs "os.syscall_service_cycles";
+          h_faults_by_page = Obs.labeled obs "faults.by_page";
+          h_faults_by_pid = Obs.labeled obs "faults.by_pid";
+          h_sys_by_name = Obs.labeled obs "syscalls.by_name";
+          h_sys_by_pid = Obs.labeled obs "syscalls.by_pid";
+          h_traps_by_class = Obs.labeled obs "traps.by_class";
+        }
+    end
+  in
+  {
+    phys;
+    alloc = Frame_alloc.create phys;
+    mmu;
+    cost;
+    log;
+    protection;
+    procs = Hashtbl.create 8;
+    libraries = Hashtbl.create 4;
+    lib_cursor = Layout.lib_base + 0x100000;
+    runq = Queue.create ();
+    rng = Random.State.make [| seed |];
+    page_size;
+    quantum;
+    stack_jitter_pages;
+    verify_signatures;
+    last_running = None;
+    next_pid = 1;
+    next_tick = (if cost.params.timer_tick_cycles > 0 then cost.params.timer_tick_cycles else max_int);
+    ticks = 0;
+    obs;
+    hot;
+    scratch = Bytes.create page_size;
+    sched_hook = None;
+    syscall_tracer = None;
+  }
+
+let ctx t : Protection.ctx =
+  { phys = t.phys; alloc = t.alloc; mmu = t.mmu; cost = t.cost; log = t.log; obs = t.obs }
+
+let proc t pid = Hashtbl.find_opt t.procs pid
+
+(* pid-sorted so every traversal of the process table (wake scans, snapshot
+   serialization, reporting) is deterministic regardless of hashtable
+   history — a prerequisite for bit-exact replay after restore. *)
+let procs t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.procs []
+  |> List.sort (fun (a : Proc.t) (b : Proc.t) -> compare a.pid b.pid)
+
+(* Install a dynamic library into the system registry, assembled at the
+   next prelink base. Every process that uselib()s it gets the same
+   mapping, like a prelinked shared object. *)
+let register_library t name program =
+  let base = t.lib_cursor in
+  let assembled = Isa.Asm.assemble ~origin:base program in
+  let code = assembled.Isa.Asm.code in
+  let pages = (String.length code + t.page_size - 1) / t.page_size in
+  t.lib_cursor <- base + ((pages + 1) * t.page_size);
+  let lib_signature = Signature.sign [ name; string_of_int base; code ] in
+  Hashtbl.replace t.libraries name { lib_base = base; code; lib_signature };
+  base
+
+(* Corrupt a registered library without re-signing (for tests/demos): what
+   a trojaned plugin looks like to the loader. *)
+let tamper_library t name =
+  match Hashtbl.find_opt t.libraries name with
+  | None -> ()
+  | Some lib ->
+    let bytes = Bytes.of_string lib.code in
+    if Bytes.length bytes > 0 then
+      Bytes.set bytes 0 (Char.chr (Char.code (Bytes.get bytes 0) lxor 0xFF));
+    Hashtbl.replace t.libraries name { lib with code = Bytes.to_string bytes }
+
+let children_of t parent =
+  List.filter (fun (p : Proc.t) -> p.parent = Some parent.Proc.pid) (procs t)
+
+let enqueue t (p : Proc.t) = Queue.add p.pid t.runq
+
+(* ------------------------------------------------------------------ *)
+(* Demand paging                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let map_demand_page t (p : Proc.t) (region : Aspace.region) vpn =
+  let frame = Frame_alloc.alloc t.alloc in
+  Aspace.blit_page_content p.aspace region vpn t.scratch;
+  Hw.Phys.blit_from_bytes t.phys ~frame t.scratch ~len:t.page_size;
+  let pte = Pte.make ~vpn ~kind:region.kind ~frame ~writable:region.writable in
+  if p.protected_ then t.protection.on_page_mapped (ctx t) p region pte;
+  Aspace.set_pte p.aspace pte;
+  pte
+
+(* ------------------------------------------------------------------ *)
+(* Copy-on-write                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cow_service t (pte : Pte.t) =
+  let old = Pte.data_frame pte in
+  if Frame_alloc.refcount t.alloc old > 1 then begin
+    let fresh = Frame_alloc.alloc t.alloc in
+    Hw.Phys.copy_frame t.phys ~src:old ~dst:fresh;
+    Frame_alloc.decref t.alloc old;
+    match pte.split with
+    | Some s ->
+      s.data_frame <- fresh;
+      if pte.frame = old then pte.frame <- fresh
+    | None -> pte.frame <- fresh
+  end;
+  pte.writable <- true;
+  pte.cow <- false;
+  Hw.Mmu.invlpg t.mmu pte.vpn
+
+(* ------------------------------------------------------------------ *)
+(* Kernel access to guest memory (supervisor; reaches the data copy)   *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_mapped_for_kernel t (p : Proc.t) vpn ~write =
+  match Aspace.pte p.aspace vpn with
+  | Some pte ->
+    if write then begin
+      if not pte.orig_writable then raise Efault;
+      if pte.cow then cow_service t pte
+    end;
+    pte
+  | None -> (
+    match Aspace.find_region p.aspace vpn with
+    | Some region ->
+      if write && not region.writable then raise Efault;
+      map_demand_page t p region vpn
+    | None -> raise Efault)
+
+let copy_from_user t p addr len =
+  let buf = Buffer.create len in
+  let remaining = ref len in
+  let addr = ref addr in
+  while !remaining > 0 do
+    let vpn = !addr / t.page_size in
+    let off = !addr mod t.page_size in
+    let chunk = min !remaining (t.page_size - off) in
+    let pte = ensure_mapped_for_kernel t p vpn ~write:false in
+    let frame = Pte.data_frame pte in
+    for i = 0 to chunk - 1 do
+      Buffer.add_char buf (Char.chr (Hw.Phys.read8 t.phys ~frame ~off:(off + i)))
+    done;
+    remaining := !remaining - chunk;
+    addr := !addr + chunk
+  done;
+  Buffer.contents buf
+
+let copy_to_user t p addr s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let vpn = a / t.page_size in
+    let off = a mod t.page_size in
+    let chunk = min (len - !pos) (t.page_size - off) in
+    let pte = ensure_mapped_for_kernel t p vpn ~write:true in
+    let frame = Pte.data_frame pte in
+    for i = 0 to chunk - 1 do
+      Hw.Phys.write8 t.phys ~frame ~off:(off + i) (Char.code s.[!pos + i])
+    done;
+    pos := !pos + chunk
+  done
+
+let read_cstring t p addr ~max =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= max then Buffer.contents buf
+    else
+      let vpn = (addr + i) / t.page_size in
+      let off = (addr + i) mod t.page_size in
+      let pte = ensure_mapped_for_kernel t p vpn ~write:false in
+      let b = Hw.Phys.read8 t.phys ~frame:(Pte.data_frame pte) ~off in
+      if b = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr b);
+        go (i + 1)
+      end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Process teardown                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let free_aspace t (p : Proc.t) =
+  Aspace.iter_ptes p.aspace (fun pte ->
+      match pte.split with
+      | Some s ->
+        Frame_alloc.decref t.alloc s.code_frame;
+        Frame_alloc.decref t.alloc s.data_frame
+      | None -> Frame_alloc.decref t.alloc pte.frame);
+  Hashtbl.reset p.aspace.ptes
+
+let terminate t (p : Proc.t) status =
+  free_aspace t p;
+  Proc.close_all_fds p;
+  p.state <- Zombie status;
+  Event_log.add t.log (Process_exited { pid = p.pid; status = Proc.status_string status })
+
+let kill t (p : Proc.t) signal =
+  Hw.Cost.charge t.cost t.cost.params.fault_delivery;
+  Event_log.add t.log (Signal_delivered { pid = p.pid; signal = Proc.signal_name signal });
+  terminate t p (Proc.Killed signal)
+
+(* ------------------------------------------------------------------ *)
+(* Loader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let region_of_segment t (seg : Image.segment) : Aspace.region =
+  let lo = seg.base / t.page_size in
+  let hi = (seg.base + String.length seg.bytes + t.page_size - 1) / t.page_size in
+  let kind, execable =
+    match seg.kind with
+    | Image.Code -> (Pte.Code, true)
+    | Image.Rodata -> (Pte.Rodata, false)
+    | Image.Data -> (Pte.Data, false)
+    | Image.Mixed -> (Pte.Mixed, true)
+    | Image.Lib -> (Pte.Lib, true)
+  in
+  { lo; hi; kind; writable = seg.writable; execable; source = Image_bytes { base = seg.base; bytes = seg.bytes } }
+
+let spawn t ?(eager = false) ?(protected = true) ?name (image : Image.t) =
+  if t.verify_signatures && not (Image.verify image) then begin
+    Event_log.add t.log (Library_rejected { name = image.name });
+    raise (Rejected_image image.name)
+  end;
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let name = Option.value name ~default:image.name in
+  let aspace = Aspace.create ~page_size:t.page_size in
+  List.iter (fun seg -> Aspace.add_region aspace (region_of_segment t seg)) image.segments;
+  if image.bss_size > 0 then
+    Aspace.add_region aspace
+      {
+        lo = Layout.bss_base / t.page_size;
+        hi = (Layout.bss_base + image.bss_size + t.page_size - 1) / t.page_size;
+        kind = Pte.Bss;
+        writable = true;
+        execable = false;
+        source = Zero;
+      };
+  Aspace.add_region aspace
+    {
+      lo = Layout.heap_base / t.page_size;
+      hi = Layout.heap_limit / t.page_size;
+      kind = Pte.Heap;
+      writable = true;
+      execable = false;
+      source = Zero;
+    };
+  Aspace.add_region aspace
+    {
+      lo = (Layout.stack_top - Layout.stack_max_bytes) / t.page_size;
+      hi = Layout.stack_top / t.page_size;
+      kind = Pte.Stack;
+      writable = true;
+      execable = false;
+      source = Zero;
+    };
+  let p = Proc.create ~pid ~name ~aspace in
+  p.protected_ <- protected;
+  p.regs.eip <- image.entry;
+  let jitter =
+    if t.stack_jitter_pages > 0 then
+      Random.State.int t.rng t.stack_jitter_pages * t.page_size
+    else 0
+  in
+  Hw.Cpu.set p.regs Isa.Reg.ESP (Layout.initial_esp - jitter);
+  if eager then
+    List.iter
+      (fun (r : Aspace.region) ->
+        match r.source with
+        | Image_bytes _ ->
+          for vpn = r.lo to r.hi - 1 do
+            ignore (map_demand_page t p r vpn)
+          done
+        | Zero -> ())
+      (Aspace.regions aspace);
+  Hashtbl.replace t.procs pid p;
+  enqueue t p;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Console / wiring                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let feed_stdin _t (p : Proc.t) s = Pipe.write p.console_in s
+let close_stdin _t (p : Proc.t) = Pipe.close_writer p.console_in
+let read_stdout _t (p : Proc.t) = Pipe.drain p.console_out
+
+let connect ?capacity _t (a : Proc.t) (b : Proc.t) =
+  let ab = Pipe.create ?capacity ~name:(Fmt.str "%s->%s" a.name b.name) () in
+  let ba = Pipe.create ?capacity ~name:(Fmt.str "%s->%s" b.name a.name) () in
+  ignore (Proc.close_fd a 1);
+  ignore (Proc.close_fd b 0);
+  ignore (Proc.close_fd b 1);
+  ignore (Proc.close_fd a 0);
+  Proc.replace_fd a 1 (Write_end ab);
+  Proc.replace_fd b 0 (Read_end ab);
+  Proc.replace_fd b 1 (Write_end ba);
+  Proc.replace_fd a 0 (Read_end ba)
+
+(* ------------------------------------------------------------------ *)
+(* Fork                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let clone_pte t (pte : Pte.t) : Pte.t =
+  let split =
+    Option.map
+      (fun (s : Pte.split) ->
+        Frame_alloc.incref t.alloc s.code_frame;
+        Frame_alloc.incref t.alloc s.data_frame;
+        { s with code_frame = s.code_frame })
+      pte.split
+  in
+  if split = None then Frame_alloc.incref t.alloc pte.frame;
+  {
+    pte with
+    split;
+    frame = pte.frame;
+  }
+
+let do_fork t (parent : Proc.t) =
+  Hw.Cost.charge t.cost
+    (t.cost.params.fork_base
+    + (t.cost.params.fork_per_page * Aspace.mapped_count parent.aspace));
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let aspace = Aspace.create ~page_size:t.page_size in
+  aspace.brk <- parent.aspace.brk;
+  aspace.mmap_cursor <- parent.aspace.mmap_cursor;
+  aspace.regions <-
+    List.map (fun (r : Aspace.region) -> { r with hi = r.hi }) parent.aspace.regions;
+  Aspace.iter_ptes parent.aspace (fun pte ->
+      let child_pte = clone_pte t pte in
+      if pte.orig_writable then begin
+        pte.writable <- false;
+        pte.cow <- true;
+        child_pte.writable <- false;
+        child_pte.cow <- true
+      end;
+      Aspace.set_pte aspace child_pte);
+  (* The parent's DTLB may cache stale writable mappings. *)
+  Hw.Mmu.flush_tlbs t.mmu;
+  let child = Proc.create ~pid ~name:(Fmt.str "%s.%d" parent.name pid) ~aspace in
+  (* Inherit the parent's descriptor table (drop the fresh console fds). *)
+  Proc.close_all_fds child;
+  Hashtbl.iter
+    (fun n obj ->
+      (match obj with
+      | Proc.Read_end pipe -> Pipe.add_reader pipe
+      | Proc.Write_end pipe -> Pipe.add_writer pipe);
+      Hashtbl.replace child.fds n obj)
+    parent.fds;
+  child.next_fd <- parent.next_fd;
+  child.protected_ <- parent.protected_;
+  child.sebek_active <- parent.sebek_active;
+  child.recovery_handler <- parent.recovery_handler;
+  Array.blit parent.regs.gpr 0 child.regs.gpr 0 8;
+  child.regs.eip <- parent.regs.eip;
+  child.regs.zf <- parent.regs.zf;
+  child.regs.sf <- parent.regs.sf;
+  child.regs.tf <- false;
+  Hw.Cpu.set child.regs Isa.Reg.EAX 0;
+  child.parent <- Some parent.pid;
+  Hashtbl.replace t.procs pid child;
+  enqueue t child;
+  pid
+
+(* ------------------------------------------------------------------ *)
+(* Misc services shared by the syscall and trap layers                 *)
+(* ------------------------------------------------------------------ *)
+
+let sebek_trace t (p : Proc.t) name info =
+  if p.sebek_active then Event_log.add t.log (Syscall_traced { pid = p.pid; name; info })
+
+let preview s =
+  let clean =
+    String.map (fun c -> if Char.code c >= 32 && Char.code c < 127 then c else '.') s
+  in
+  if String.length clean > 40 then String.sub clean 0 40 ^ "..." else clean
+
+let block (p : Proc.t) cond =
+  (* Rewind over [int 0x80] so the syscall re-executes on wake-up. *)
+  p.regs.eip <- p.regs.eip - 2;
+  p.state <- Blocked cond
+
+let load_pagetables t (p : Proc.t) =
+  if t.protection.dual_pagetables then
+    Hw.Mmu.reload_cr3_dual t.mmu
+      ~code:(Aspace.walk_code_view p.aspace)
+      ~data:(Aspace.walk_data_view p.aspace)
+  else Hw.Mmu.reload_cr3 t.mmu (Aspace.walk p.aspace)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot support: raw registry exposure                             *)
+(* ------------------------------------------------------------------ *)
+
+let libraries t =
+  Hashtbl.fold (fun name lib acc -> (name, lib) :: acc) t.libraries []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let restore_libraries t libs =
+  Hashtbl.reset t.libraries;
+  List.iter (fun (name, lib) -> Hashtbl.replace t.libraries name lib) libs
+
+let replace_procs t ps =
+  Hashtbl.reset t.procs;
+  List.iter (fun (p : Proc.t) -> Hashtbl.replace t.procs p.pid p) ps

@@ -1,0 +1,145 @@
+(** The kernel's state layer: the machine record plus the memory/process
+    services the other kernel layers ({!Syscalls}, {!Trap}, {!Sched})
+    build on. {!Os} composes all of them behind the stable public facade —
+    kernel clients should use {!Os}; this interface is for the kernel's
+    own layers, for [lib/snap], and for tools that need to reach a
+    specific layer directly.
+
+    The record type is deliberately concrete: the layers above are part of
+    the kernel and manipulate scheduler bookkeeping (run queue, tick
+    state) in place. *)
+
+exception Rejected_image of string
+exception Efault
+
+type library = { lib_base : int; code : string; lib_signature : int }
+
+type syscall_outcome =
+  | Returned of int  (** handler returned; payload is EAX, sign-extended *)
+  | Blocked  (** the process blocked; the syscall will re-execute *)
+  | Exited  (** the process terminated during the call *)
+
+type syscall_trace = {
+  sys_number : int;
+  sys_name : string;
+  sys_pid : int;
+  sys_args : int * int * int;  (** ebx, ecx, edx at entry *)
+  sys_outcome : syscall_outcome;
+  sys_cycles : int;  (** service cycles, entry to return *)
+}
+(** One record per dispatched syscall, delivered to the installed tracer
+    (see {!Syscalls.dispatch} and simctl's [--strace]). *)
+
+type hot = {
+  h_retired : Obs.Metrics.counter;
+  h_syscalls : Obs.Metrics.counter;
+  h_faults : Obs.Metrics.counter;
+  h_fault_cycles : Obs.Metrics.histogram;
+  h_syscall_cycles : Obs.Metrics.histogram;
+  h_faults_by_page : Obs.Metrics.labeled;
+  h_faults_by_pid : Obs.Metrics.labeled;
+  h_sys_by_name : Obs.Metrics.labeled;
+  h_sys_by_pid : Obs.Metrics.labeled;
+  h_traps_by_class : Obs.Metrics.labeled;
+}
+(** Pre-resolved metric instruments for the scheduler/trap hot paths
+    ([None] on the machine when observability is disabled). *)
+
+type t = {
+  phys : Hw.Phys.t;
+  alloc : Frame_alloc.t;
+  mmu : Hw.Mmu.t;
+  cost : Hw.Cost.t;
+  log : Event_log.t;
+  protection : Protection.t;
+  procs : (int, Proc.t) Hashtbl.t;
+  libraries : (string, library) Hashtbl.t;
+  mutable lib_cursor : int;
+  runq : int Queue.t;
+  mutable rng : Random.State.t;
+  page_size : int;
+  quantum : int;
+  stack_jitter_pages : int;
+  verify_signatures : bool;
+  mutable last_running : int option;
+  mutable next_pid : int;
+  mutable next_tick : int;
+  mutable ticks : int;
+  obs : Obs.t;
+  hot : hot option;
+  scratch : Bytes.t;
+  mutable sched_hook : (unit -> unit) option;
+  mutable syscall_tracer : (syscall_trace -> unit) option;
+}
+
+val create :
+  ?frames:int ->
+  ?page_size:int ->
+  ?quantum:int ->
+  ?cost_params:Hw.Cost.params ->
+  ?itlb_capacity:int ->
+  ?dtlb_capacity:int ->
+  ?stack_jitter_pages:int ->
+  ?verify_signatures:bool ->
+  ?seed:int ->
+  ?tlb_fill:Hw.Mmu.fill_mode ->
+  ?caches:bool ->
+  ?obs:Obs.t ->
+  protection:Protection.t ->
+  unit ->
+  t
+
+val ctx : t -> Protection.ctx
+val proc : t -> int -> Proc.t option
+
+val procs : t -> Proc.t list
+(** pid-sorted, for deterministic traversal. *)
+
+val register_library : t -> string -> Isa.Asm.program -> int
+val tamper_library : t -> string -> unit
+val children_of : t -> Proc.t -> Proc.t list
+val enqueue : t -> Proc.t -> unit
+
+val map_demand_page : t -> Proc.t -> Aspace.region -> int -> Pte.t
+val cow_service : t -> Pte.t -> unit
+
+val ensure_mapped_for_kernel : t -> Proc.t -> int -> write:bool -> Pte.t
+(** @raise Efault on an unmapped or forbidden guest page. *)
+
+val copy_from_user : t -> Proc.t -> int -> int -> string
+val copy_to_user : t -> Proc.t -> int -> string -> unit
+val read_cstring : t -> Proc.t -> int -> max:int -> string
+
+val terminate : t -> Proc.t -> Proc.exit_status -> unit
+val kill : t -> Proc.t -> Proc.signal -> unit
+
+val spawn : t -> ?eager:bool -> ?protected:bool -> ?name:string -> Image.t -> Proc.t
+
+val feed_stdin : t -> Proc.t -> string -> int
+val close_stdin : t -> Proc.t -> unit
+val read_stdout : t -> Proc.t -> string
+val connect : ?capacity:int -> t -> Proc.t -> Proc.t -> unit
+
+val do_fork : t -> Proc.t -> int
+(** Fork [parent]; returns the child pid. *)
+
+val sebek_trace : t -> Proc.t -> string -> string -> unit
+(** Covert per-syscall logging when the process is sebek-tagged. *)
+
+val preview : string -> string
+(** Printable, truncated preview of guest bytes for log lines. *)
+
+val block : Proc.t -> Proc.wait_cond -> unit
+(** Block the process and rewind EIP over [int 0x80] so the syscall
+    re-executes on wake-up. *)
+
+val load_pagetables : t -> Proc.t -> unit
+
+val libraries : t -> (string * library) list
+(** Registered dynamic libraries, sorted by name. *)
+
+val restore_libraries : t -> (string * library) list -> unit
+
+val replace_procs : t -> Proc.t list -> unit
+(** Replace the whole process table (snapshot restore). Does not touch
+    the run queue. *)

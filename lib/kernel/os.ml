@@ -1,924 +1,71 @@
-exception Rejected_image of string
-exception Efault
+(* The kernel facade. The monolith this module used to be is now four
+   explicit layers —
 
-(* A runtime-loadable library: code assembled ("prelinked") at a fixed
-   base shared by all processes, with its signature. *)
-type library = { lib_base : int; code : string; lib_signature : int }
+     Machine   state + memory/process services (demand paging, COW, fork,
+               loader, consoles, teardown)
+     Syscalls  declarative syscall table: number -> {name; handler}
+     Trap      first-class trap type + dispatch through Protection hooks
+               (Algorithms 1-3 live behind this boundary)
+     Sched     round-robin run loop, quantum/fuel/tick accounting
 
-type stop_reason = All_exited | All_blocked | Fuel_exhausted
+   — and this file only re-exports them behind the historical stable API.
+   [t] {e is} the machine; use {!machine} to hand it to a layer directly. *)
 
-(* Pre-resolved metric instruments for the hot paths of the scheduler loop
-   ([None] when observability is disabled, so the common case pays one
-   match per event at most). *)
-type hot = {
-  h_retired : Obs.Metrics.counter;
-  h_syscalls : Obs.Metrics.counter;
-  h_faults : Obs.Metrics.counter;
-  h_fault_cycles : Obs.Metrics.histogram;
-  h_syscall_cycles : Obs.Metrics.histogram;
-  h_faults_by_page : Obs.Metrics.labeled;
-  h_faults_by_pid : Obs.Metrics.labeled;
-  h_sys_by_name : Obs.Metrics.labeled;
-  h_sys_by_pid : Obs.Metrics.labeled;
-}
+exception Rejected_image = Machine.Rejected_image
+exception Efault = Machine.Efault
 
-type t = {
-  phys : Hw.Phys.t;
-  alloc : Frame_alloc.t;
-  mmu : Hw.Mmu.t;
-  cost : Hw.Cost.t;
-  log : Event_log.t;
-  protection : Protection.t;
-  procs : (int, Proc.t) Hashtbl.t;
-  libraries : (string, library) Hashtbl.t;
-  mutable lib_cursor : int;
-  runq : int Queue.t;
-  mutable rng : Random.State.t;
-  page_size : int;
-  quantum : int;
-  stack_jitter_pages : int;
-  verify_signatures : bool;
-  mutable last_running : int option;
-  mutable next_pid : int;
-  mutable next_tick : int;
-  mutable ticks : int;
-  obs : Obs.t;
-  hot : hot option;
-  scratch : Bytes.t;  (* page-sized staging buffer for demand paging *)
-  mutable sched_hook : (unit -> unit) option;
-}
+type library = Machine.library = { lib_base : int; code : string; lib_signature : int }
 
-(* Import the point-in-time hardware statistics as gauges, so a metrics
-   snapshot carries the TLB/cache/cost view without double-counting on the
-   hot paths (the hardware already maintains these). *)
-let install_snapshot_hook obs mmu (cost : Hw.Cost.t) =
-  Obs.add_snapshot_hook obs (fun () ->
-      let reg = Obs.metrics obs in
-      let set name v = Obs.Metrics.set_gauge (Obs.Metrics.gauge reg name) v in
-      let seti name v = set name (float_of_int v) in
-      let tlb prefix t =
-        let s = Hw.Tlb.stats t in
-        seti (prefix ^ ".hits") s.hits;
-        seti (prefix ^ ".misses") s.misses;
-        seti (prefix ^ ".flushes") s.flushes;
-        seti (prefix ^ ".invalidations") s.invalidations;
-        seti (prefix ^ ".evictions") s.evictions;
-        set (prefix ^ ".hit_rate") (Hw.Tlb.hit_rate t)
-      in
-      tlb "tlb.itlb" (Hw.Mmu.itlb mmu);
-      tlb "tlb.dtlb" (Hw.Mmu.dtlb mmu);
-      let cache prefix c =
-        match c with
-        | None -> ()
-        | Some c ->
-          let s = Hw.Cache.stats c in
-          seti (prefix ^ ".hits") s.hits;
-          seti (prefix ^ ".misses") s.misses;
-          seti (prefix ^ ".flushes") s.flushes;
-          seti (prefix ^ ".invalidations") s.invalidations;
-          set (prefix ^ ".hit_rate") (Hw.Cache.hit_rate c)
-      in
-      cache "cache.icache" (Hw.Mmu.icache mmu);
-      cache "cache.dcache" (Hw.Mmu.dcache mmu);
-      seti "cost.cycles" cost.cycles;
-      seti "cost.insns" cost.insns;
-      seti "cost.traps" cost.traps;
-      seti "cost.split_faults" cost.split_faults;
-      seti "cost.single_steps" cost.single_steps;
-      seti "cost.syscalls" cost.syscalls;
-      seti "cost.ctx_switches" cost.ctx_switches)
+type stop_reason = Sched.stop_reason = All_exited | All_blocked | Fuel_exhausted
 
-let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
-    ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?(stack_jitter_pages = 0)
-    ?(verify_signatures = true) ?(seed = 7) ?(tlb_fill = Hw.Mmu.Hardware_walk)
-    ?(caches = false) ?(obs = Obs.null) ~protection () =
-  let phys = Hw.Phys.create ~page_size ~frames () in
-  let cost = Hw.Cost.create ?params:cost_params () in
-  let mmu = Hw.Mmu.create ~itlb_capacity ~dtlb_capacity ~phys ~cost () in
-  Hw.Mmu.set_nx mmu protection.Protection.nx_hardware;
-  Hw.Mmu.set_fill_mode mmu tlb_fill;
-  if caches then Hw.Mmu.enable_caches mmu;
-  let log = Event_log.create () in
-  let hot =
-    if not (Obs.enabled obs) then None
-    else begin
-      Obs.set_clock obs (fun () -> cost.cycles);
-      Hw.Mmu.set_obs mmu obs;
-      Event_log.attach_obs log obs;
-      install_snapshot_hook obs mmu cost;
-      Some
-        {
-          h_retired = Obs.counter obs "cpu.retired";
-          h_syscalls = Obs.counter obs "os.syscalls";
-          h_faults = Obs.counter obs "os.page_faults";
-          h_fault_cycles = Obs.histogram obs "os.fault_service_cycles";
-          h_syscall_cycles = Obs.histogram obs "os.syscall_service_cycles";
-          h_faults_by_page = Obs.labeled obs "faults.by_page";
-          h_faults_by_pid = Obs.labeled obs "faults.by_pid";
-          h_sys_by_name = Obs.labeled obs "syscalls.by_name";
-          h_sys_by_pid = Obs.labeled obs "syscalls.by_pid";
-        }
-    end
-  in
-  {
-    phys;
-    alloc = Frame_alloc.create phys;
-    mmu;
-    cost;
-    log;
-    protection;
-    procs = Hashtbl.create 8;
-    libraries = Hashtbl.create 4;
-    lib_cursor = Layout.lib_base + 0x100000;
-    runq = Queue.create ();
-    rng = Random.State.make [| seed |];
-    page_size;
-    quantum;
-    stack_jitter_pages;
-    verify_signatures;
-    last_running = None;
-    next_pid = 1;
-    next_tick = (if cost.params.timer_tick_cycles > 0 then cost.params.timer_tick_cycles else max_int);
-    ticks = 0;
-    obs;
-    hot;
-    scratch = Bytes.create page_size;
-    sched_hook = None;
-  }
+type t = Machine.t
 
-let ctx t : Protection.ctx =
-  { phys = t.phys; alloc = t.alloc; mmu = t.mmu; cost = t.cost; log = t.log; obs = t.obs }
+let create = Machine.create
+let machine t = t
+let ctx = Machine.ctx
+let log (t : t) = t.Machine.log
+let obs (t : t) = t.Machine.obs
+let syscall_name n = Syscalls.name (Syscalls.default ()) n
+let cost (t : t) = t.Machine.cost
+let mmu (t : t) = t.Machine.mmu
+let phys (t : t) = t.Machine.phys
+let alloc (t : t) = t.Machine.alloc
+let page_size (t : t) = t.Machine.page_size
+let proc = Machine.proc
+let procs = Machine.procs
+let protection (t : t) = t.Machine.protection
+let children_of = Machine.children_of
 
-let log t = t.log
-let obs t = t.obs
-let cost t = t.cost
-let mmu t = t.mmu
-let phys t = t.phys
-let alloc t = t.alloc
-let page_size t = t.page_size
-let proc t pid = Hashtbl.find_opt t.procs pid
-let protection t = t.protection
+let register_library = Machine.register_library
+let tamper_library = Machine.tamper_library
+let spawn = Machine.spawn
 
-(* pid-sorted so every traversal of the process table (wake scans, snapshot
-   serialization, reporting) is deterministic regardless of hashtable
-   history — a prerequisite for bit-exact replay after restore. *)
-let procs t =
-  Hashtbl.fold (fun _ p acc -> p :: acc) t.procs []
-  |> List.sort (fun (a : Proc.t) (b : Proc.t) -> compare a.pid b.pid)
+let feed_stdin = Machine.feed_stdin
+let close_stdin = Machine.close_stdin
+let read_stdout = Machine.read_stdout
+let connect = Machine.connect
 
-(* Install a dynamic library into the system registry, assembled at the
-   next prelink base. Every process that uselib()s it gets the same
-   mapping, like a prelinked shared object. *)
-let register_library t name program =
-  let base = t.lib_cursor in
-  let assembled = Isa.Asm.assemble ~origin:base program in
-  let code = assembled.Isa.Asm.code in
-  let pages = (String.length code + t.page_size - 1) / t.page_size in
-  t.lib_cursor <- base + ((pages + 1) * t.page_size);
-  let lib_signature = Signature.sign [ name; string_of_int base; code ] in
-  Hashtbl.replace t.libraries name { lib_base = base; code; lib_signature };
-  base
+let run ?fuel t = Sched.run ?fuel t
 
-(* Corrupt a registered library without re-signing (for tests/demos): what
-   a trojaned plugin looks like to the loader. *)
-let tamper_library t name =
-  match Hashtbl.find_opt t.libraries name with
-  | None -> ()
-  | Some lib ->
-    let bytes = Bytes.of_string lib.code in
-    if Bytes.length bytes > 0 then
-      Bytes.set bytes 0 (Char.chr (Char.code (Bytes.get bytes 0) lxor 0xFF));
-    Hashtbl.replace t.libraries name { lib with code = Bytes.to_string bytes }
+let kill = Machine.kill
+let terminate = Machine.terminate
 
-let children_of t parent =
-  List.filter (fun (p : Proc.t) -> p.parent = Some parent.Proc.pid) (procs t)
-
-let enqueue t (p : Proc.t) = Queue.add p.pid t.runq
+let copy_from_user = Machine.copy_from_user
+let copy_to_user = Machine.copy_to_user
+let read_cstring = Machine.read_cstring
+let load_pagetables = Machine.load_pagetables
+let map_demand_page = Machine.map_demand_page
+let cow_service = Machine.cow_service
 
 (* ------------------------------------------------------------------ *)
-(* Demand paging                                                       *)
+(* Snapshot support                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let map_demand_page t (p : Proc.t) (region : Aspace.region) vpn =
-  let frame = Frame_alloc.alloc t.alloc in
-  Aspace.blit_page_content p.aspace region vpn t.scratch;
-  Hw.Phys.blit_from_bytes t.phys ~frame t.scratch ~len:t.page_size;
-  let pte = Pte.make ~vpn ~kind:region.kind ~frame ~writable:region.writable in
-  if p.protected_ then t.protection.on_page_mapped (ctx t) p region pte;
-  Aspace.set_pte p.aspace pte;
-  pte
+let quantum (t : t) = t.Machine.quantum
+let set_sched_hook (t : t) hook = t.Machine.sched_hook <- hook
 
-(* ------------------------------------------------------------------ *)
-(* Copy-on-write                                                       *)
-(* ------------------------------------------------------------------ *)
-
-let cow_service t (pte : Pte.t) =
-  let old = Pte.data_frame pte in
-  if Frame_alloc.refcount t.alloc old > 1 then begin
-    let fresh = Frame_alloc.alloc t.alloc in
-    Hw.Phys.copy_frame t.phys ~src:old ~dst:fresh;
-    Frame_alloc.decref t.alloc old;
-    match pte.split with
-    | Some s ->
-      s.data_frame <- fresh;
-      if pte.frame = old then pte.frame <- fresh
-    | None -> pte.frame <- fresh
-  end;
-  pte.writable <- true;
-  pte.cow <- false;
-  Hw.Mmu.invlpg t.mmu pte.vpn
-
-(* ------------------------------------------------------------------ *)
-(* Kernel access to guest memory (supervisor; reaches the data copy)   *)
-(* ------------------------------------------------------------------ *)
-
-let ensure_mapped_for_kernel t (p : Proc.t) vpn ~write =
-  match Aspace.pte p.aspace vpn with
-  | Some pte ->
-    if write then begin
-      if not pte.orig_writable then raise Efault;
-      if pte.cow then cow_service t pte
-    end;
-    pte
-  | None -> (
-    match Aspace.find_region p.aspace vpn with
-    | Some region ->
-      if write && not region.writable then raise Efault;
-      map_demand_page t p region vpn
-    | None -> raise Efault)
-
-let copy_from_user t p addr len =
-  let buf = Buffer.create len in
-  let remaining = ref len in
-  let addr = ref addr in
-  while !remaining > 0 do
-    let vpn = !addr / t.page_size in
-    let off = !addr mod t.page_size in
-    let chunk = min !remaining (t.page_size - off) in
-    let pte = ensure_mapped_for_kernel t p vpn ~write:false in
-    let frame = Pte.data_frame pte in
-    for i = 0 to chunk - 1 do
-      Buffer.add_char buf (Char.chr (Hw.Phys.read8 t.phys ~frame ~off:(off + i)))
-    done;
-    remaining := !remaining - chunk;
-    addr := !addr + chunk
-  done;
-  Buffer.contents buf
-
-let copy_to_user t p addr s =
-  let len = String.length s in
-  let pos = ref 0 in
-  while !pos < len do
-    let a = addr + !pos in
-    let vpn = a / t.page_size in
-    let off = a mod t.page_size in
-    let chunk = min (len - !pos) (t.page_size - off) in
-    let pte = ensure_mapped_for_kernel t p vpn ~write:true in
-    let frame = Pte.data_frame pte in
-    for i = 0 to chunk - 1 do
-      Hw.Phys.write8 t.phys ~frame ~off:(off + i) (Char.code s.[!pos + i])
-    done;
-    pos := !pos + chunk
-  done
-
-let read_cstring t p addr ~max =
-  let buf = Buffer.create 16 in
-  let rec go i =
-    if i >= max then Buffer.contents buf
-    else
-      let vpn = (addr + i) / t.page_size in
-      let off = (addr + i) mod t.page_size in
-      let pte = ensure_mapped_for_kernel t p vpn ~write:false in
-      let b = Hw.Phys.read8 t.phys ~frame:(Pte.data_frame pte) ~off in
-      if b = 0 then Buffer.contents buf
-      else begin
-        Buffer.add_char buf (Char.chr b);
-        go (i + 1)
-      end
-  in
-  go 0
-
-(* ------------------------------------------------------------------ *)
-(* Process teardown                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let free_aspace t (p : Proc.t) =
-  Aspace.iter_ptes p.aspace (fun pte ->
-      match pte.split with
-      | Some s ->
-        Frame_alloc.decref t.alloc s.code_frame;
-        Frame_alloc.decref t.alloc s.data_frame
-      | None -> Frame_alloc.decref t.alloc pte.frame);
-  Hashtbl.reset p.aspace.ptes
-
-let terminate t (p : Proc.t) status =
-  free_aspace t p;
-  Proc.close_all_fds p;
-  p.state <- Zombie status;
-  Event_log.add t.log (Process_exited { pid = p.pid; status = Proc.status_string status })
-
-let kill t (p : Proc.t) signal =
-  Hw.Cost.charge t.cost t.cost.params.fault_delivery;
-  Event_log.add t.log (Signal_delivered { pid = p.pid; signal = Proc.signal_name signal });
-  terminate t p (Proc.Killed signal)
-
-(* ------------------------------------------------------------------ *)
-(* Loader                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let region_of_segment t (seg : Image.segment) : Aspace.region =
-  let lo = seg.base / t.page_size in
-  let hi = (seg.base + String.length seg.bytes + t.page_size - 1) / t.page_size in
-  let kind, execable =
-    match seg.kind with
-    | Image.Code -> (Pte.Code, true)
-    | Image.Rodata -> (Pte.Rodata, false)
-    | Image.Data -> (Pte.Data, false)
-    | Image.Mixed -> (Pte.Mixed, true)
-    | Image.Lib -> (Pte.Lib, true)
-  in
-  { lo; hi; kind; writable = seg.writable; execable; source = Image_bytes { base = seg.base; bytes = seg.bytes } }
-
-let spawn t ?(eager = false) ?(protected = true) ?name (image : Image.t) =
-  if t.verify_signatures && not (Image.verify image) then begin
-    Event_log.add t.log (Library_rejected { name = image.name });
-    raise (Rejected_image image.name)
-  end;
-  let pid = t.next_pid in
-  t.next_pid <- pid + 1;
-  let name = Option.value name ~default:image.name in
-  let aspace = Aspace.create ~page_size:t.page_size in
-  List.iter (fun seg -> Aspace.add_region aspace (region_of_segment t seg)) image.segments;
-  if image.bss_size > 0 then
-    Aspace.add_region aspace
-      {
-        lo = Layout.bss_base / t.page_size;
-        hi = (Layout.bss_base + image.bss_size + t.page_size - 1) / t.page_size;
-        kind = Pte.Bss;
-        writable = true;
-        execable = false;
-        source = Zero;
-      };
-  Aspace.add_region aspace
-    {
-      lo = Layout.heap_base / t.page_size;
-      hi = Layout.heap_limit / t.page_size;
-      kind = Pte.Heap;
-      writable = true;
-      execable = false;
-      source = Zero;
-    };
-  Aspace.add_region aspace
-    {
-      lo = (Layout.stack_top - Layout.stack_max_bytes) / t.page_size;
-      hi = Layout.stack_top / t.page_size;
-      kind = Pte.Stack;
-      writable = true;
-      execable = false;
-      source = Zero;
-    };
-  let p = Proc.create ~pid ~name ~aspace in
-  p.protected_ <- protected;
-  p.regs.eip <- image.entry;
-  let jitter =
-    if t.stack_jitter_pages > 0 then
-      Random.State.int t.rng t.stack_jitter_pages * t.page_size
-    else 0
-  in
-  Hw.Cpu.set p.regs Isa.Reg.ESP (Layout.initial_esp - jitter);
-  if eager then
-    List.iter
-      (fun (r : Aspace.region) ->
-        match r.source with
-        | Image_bytes _ ->
-          for vpn = r.lo to r.hi - 1 do
-            ignore (map_demand_page t p r vpn)
-          done
-        | Zero -> ())
-      (Aspace.regions aspace);
-  Hashtbl.replace t.procs pid p;
-  enqueue t p;
-  p
-
-(* ------------------------------------------------------------------ *)
-(* Console / wiring                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let feed_stdin _t (p : Proc.t) s = Pipe.write p.console_in s
-let close_stdin _t (p : Proc.t) = Pipe.close_writer p.console_in
-let read_stdout _t (p : Proc.t) = Pipe.drain p.console_out
-
-let connect ?capacity _t (a : Proc.t) (b : Proc.t) =
-  let ab = Pipe.create ?capacity ~name:(Fmt.str "%s->%s" a.name b.name) () in
-  let ba = Pipe.create ?capacity ~name:(Fmt.str "%s->%s" b.name a.name) () in
-  ignore (Proc.close_fd a 1);
-  ignore (Proc.close_fd b 0);
-  ignore (Proc.close_fd b 1);
-  ignore (Proc.close_fd a 0);
-  Proc.replace_fd a 1 (Write_end ab);
-  Proc.replace_fd b 0 (Read_end ab);
-  Proc.replace_fd b 1 (Write_end ba);
-  Proc.replace_fd a 0 (Read_end ba)
-
-(* ------------------------------------------------------------------ *)
-(* Fork                                                                *)
-(* ------------------------------------------------------------------ *)
-
-let clone_pte t (pte : Pte.t) : Pte.t =
-  let split =
-    Option.map
-      (fun (s : Pte.split) ->
-        Frame_alloc.incref t.alloc s.code_frame;
-        Frame_alloc.incref t.alloc s.data_frame;
-        { s with code_frame = s.code_frame })
-      pte.split
-  in
-  if split = None then Frame_alloc.incref t.alloc pte.frame;
-  {
-    pte with
-    split;
-    frame = pte.frame;
-  }
-
-let do_fork t (parent : Proc.t) =
-  Hw.Cost.charge t.cost
-    (t.cost.params.fork_base
-    + (t.cost.params.fork_per_page * Aspace.mapped_count parent.aspace));
-  let pid = t.next_pid in
-  t.next_pid <- pid + 1;
-  let aspace = Aspace.create ~page_size:t.page_size in
-  aspace.brk <- parent.aspace.brk;
-  aspace.mmap_cursor <- parent.aspace.mmap_cursor;
-  aspace.regions <-
-    List.map (fun (r : Aspace.region) -> { r with hi = r.hi }) parent.aspace.regions;
-  Aspace.iter_ptes parent.aspace (fun pte ->
-      let child_pte = clone_pte t pte in
-      if pte.orig_writable then begin
-        pte.writable <- false;
-        pte.cow <- true;
-        child_pte.writable <- false;
-        child_pte.cow <- true
-      end;
-      Aspace.set_pte aspace child_pte);
-  (* The parent's DTLB may cache stale writable mappings. *)
-  Hw.Mmu.flush_tlbs t.mmu;
-  let child = Proc.create ~pid ~name:(Fmt.str "%s.%d" parent.name pid) ~aspace in
-  (* Inherit the parent's descriptor table (drop the fresh console fds). *)
-  Proc.close_all_fds child;
-  Hashtbl.iter
-    (fun n obj ->
-      (match obj with
-      | Proc.Read_end pipe -> Pipe.add_reader pipe
-      | Proc.Write_end pipe -> Pipe.add_writer pipe);
-      Hashtbl.replace child.fds n obj)
-    parent.fds;
-  child.next_fd <- parent.next_fd;
-  child.protected_ <- parent.protected_;
-  child.sebek_active <- parent.sebek_active;
-  child.recovery_handler <- parent.recovery_handler;
-  Array.blit parent.regs.gpr 0 child.regs.gpr 0 8;
-  child.regs.eip <- parent.regs.eip;
-  child.regs.zf <- parent.regs.zf;
-  child.regs.sf <- parent.regs.sf;
-  child.regs.tf <- false;
-  Hw.Cpu.set child.regs Isa.Reg.EAX 0;
-  child.parent <- Some parent.pid;
-  Hashtbl.replace t.procs pid child;
-  enqueue t child;
-  pid
-
-(* ------------------------------------------------------------------ *)
-(* Syscalls                                                            *)
-(* ------------------------------------------------------------------ *)
-
-let sebek_trace t (p : Proc.t) name info =
-  if p.sebek_active then Event_log.add t.log (Syscall_traced { pid = p.pid; name; info })
-
-let preview s =
-  let clean =
-    String.map (fun c -> if Char.code c >= 32 && Char.code c < 127 then c else '.') s
-  in
-  if String.length clean > 40 then String.sub clean 0 40 ^ "..." else clean
-
-let syscall_name = function
-  | 1 -> "exit"
-  | 2 -> "fork"
-  | 3 -> "read"
-  | 4 -> "write"
-  | 6 -> "close"
-  | 7 -> "waitpid"
-  | 11 -> "execve"
-  | 13 -> "time"
-  | 20 -> "getpid"
-  | 42 -> "pipe"
-  | 45 -> "brk"
-  | 48 -> "sigrecover"
-  | 90 -> "mmap"
-  | 125 -> "mprotect"
-  | 137 -> "uselib"
-  | 158 -> "sched_yield"
-  | n -> Fmt.str "sys_%d" n
-
-let block (p : Proc.t) cond =
-  (* Rewind over [int 0x80] so the syscall re-executes on wake-up. *)
-  p.regs.eip <- p.regs.eip - 2;
-  p.state <- Blocked cond
-
-let handle_syscall t (p : Proc.t) n =
-  let arg r = Hw.Cpu.get p.regs r in
-  let ebx = arg Isa.Reg.EBX and ecx = arg Isa.Reg.ECX and edx = arg Isa.Reg.EDX in
-  let ret v = Hw.Cpu.set p.regs Isa.Reg.EAX v in
-  try
-    match n with
-    | 1 ->
-      (* exit(status) *)
-      sebek_trace t p "exit" (string_of_int ebx);
-      terminate t p (Proc.Exited (ebx land 0xFF))
-    | 2 ->
-      (* fork() *)
-      let child = do_fork t p in
-      sebek_trace t p "fork" (Fmt.str "-> %d" child);
-      ret child
-    | 3 -> (
-      (* read(fd, buf, len) *)
-      let fd = ebx and buf = ecx and len = edx in
-      match Proc.fd p fd with
-      | Some (Read_end pipe) ->
-        if not (Pipe.is_empty pipe) then begin
-          let s = Pipe.read pipe ~max:len in
-          copy_to_user t p buf s;
-          sebek_trace t p "read" (Fmt.str "fd=%d %S" fd (preview s));
-          ret (String.length s)
-        end
-        else if Pipe.has_writers pipe then block p (Proc.Read_fd fd)
-        else ret 0
-      | Some (Write_end _) | None -> ret (-9))
-    | 4 -> (
-      (* write(fd, buf, len) *)
-      let fd = ebx and buf = ecx and len = edx in
-      match Proc.fd p fd with
-      | Some (Write_end pipe) ->
-        if not (Pipe.has_readers pipe) then kill t p Proc.Sigpipe
-        else if Pipe.space pipe = 0 then block p (Proc.Write_fd fd)
-        else begin
-          let chunk = min len (Pipe.space pipe) in
-          let s = copy_from_user t p buf chunk in
-          let written = Pipe.write pipe s in
-          Hw.Cost.charge t.cost (written * t.cost.params.io_byte);
-          sebek_trace t p "write" (Fmt.str "fd=%d %S" fd (preview s));
-          ret written
-        end
-      | Some (Read_end _) | None -> ret (-9))
-    | 6 ->
-      (* close(fd) *)
-      ret (if Proc.close_fd p ebx then 0 else -9)
-    | 7 -> (
-      (* waitpid(pid) — 0 waits for any child *)
-      let target = ebx in
-      let children =
-        List.filter
-          (fun (c : Proc.t) -> target = 0 || c.pid = target)
-          (children_of t p)
-      in
-      match children with
-      | [] -> ret (-10)
-      | _ -> (
-        match List.find_opt Proc.is_zombie children with
-        | Some z ->
-          Hashtbl.remove t.procs z.pid;
-          sebek_trace t p "waitpid" (Fmt.str "-> %d" z.pid);
-          ret z.pid
-        | None -> block p (Proc.Child target)))
-    | 11 ->
-      (* execve(path) — in this model: log the spawn and continue *)
-      let path = read_cstring t p ebx ~max:64 in
-      Event_log.add t.log (Exec_shell { pid = p.pid; path });
-      sebek_trace t p "execve" (Fmt.str "%S" path);
-      ret 0
-    | 13 ->
-      (* time() — cycle counter *)
-      ret (t.cost.cycles land 0x3FFFFFFF)
-    | 20 -> ret p.pid
-    | 42 ->
-      (* pipe(fds_ptr) *)
-      let pipe = Pipe.create ~name:(Fmt.str "pipe.%d" p.pid) () in
-      let rfd = Proc.install_fd p (Read_end pipe) in
-      let wfd = Proc.install_fd p (Write_end pipe) in
-      let addr = ebx in
-      let word v =
-        String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xFF))
-      in
-      copy_to_user t p addr (word rfd ^ word wfd);
-      ret 0
-    | 48 ->
-      (* sigrecover(handler): register an attack-recovery callback *)
-      p.recovery_handler <- (if ebx = 0 then None else Some ebx);
-      sebek_trace t p "sigrecover" (Fmt.str "0x%08x" ebx);
-      ret 0
-    | 45 ->
-      (* brk(addr) *)
-      let requested = ebx in
-      if requested = 0 then ret p.aspace.brk
-      else if requested >= Layout.heap_base && requested < Layout.heap_limit then begin
-        p.aspace.brk <- requested;
-        ret requested
-      end
-      else ret (-12)
-    | 90 ->
-      (* mmap(len, prot) *)
-      let len = ebx and prot = ecx in
-      let pages = (len + t.page_size - 1) / t.page_size in
-      let base = p.aspace.mmap_cursor in
-      if base + ((pages + 1) * t.page_size) > Layout.mmap_limit then ret (-12)
-      else begin
-        Aspace.add_region p.aspace
-          {
-            lo = base / t.page_size;
-            hi = (base / t.page_size) + pages;
-            kind = Pte.Mmap;
-            writable = prot land 2 <> 0;
-            execable = prot land 4 <> 0;
-            source = Zero;
-          };
-        p.aspace.mmap_cursor <- base + ((pages + 1) * t.page_size);
-        sebek_trace t p "mmap" (Fmt.str "len=%d prot=%d -> 0x%08x" len prot base);
-        ret base
-      end
-    | 125 ->
-      (* mprotect(addr, len, prot) *)
-      let addr = ebx and len = ecx and prot = edx in
-      let lo = addr / t.page_size in
-      let hi = (addr + len + t.page_size - 1) / t.page_size in
-      let writable = prot land 2 <> 0 and execable = prot land 4 <> 0 in
-      List.iter
-        (fun (r : Aspace.region) ->
-          if r.lo < hi && r.hi > lo then begin
-            r.writable <- writable;
-            r.execable <- execable
-          end)
-        (Aspace.regions p.aspace);
-      for vpn = lo to hi - 1 do
-        match Aspace.pte p.aspace vpn with
-        | Some pte ->
-          pte.writable <- writable;
-          pte.orig_writable <- writable;
-          pte.nx <- t.protection.nx_hardware && not execable;
-          Hw.Mmu.invlpg t.mmu vpn
-        | None -> ()
-      done;
-      ret 0
-    | 137 -> (
-      (* uselib(name): validate and map a dynamic library (paper S4.3) *)
-      let name = read_cstring t p ebx ~max:64 in
-      match Hashtbl.find_opt t.libraries name with
-      | None -> ret (-2)
-      | Some lib ->
-        if
-          t.verify_signatures
-          && not
-               (Signature.verify
-                  [ name; string_of_int lib.lib_base; lib.code ]
-                  lib.lib_signature)
-        then begin
-          Event_log.add t.log (Library_rejected { name });
-          ret (-8)
-        end
-        else begin
-          let lo = lib.lib_base / t.page_size in
-          let hi = (lib.lib_base + String.length lib.code + t.page_size - 1) / t.page_size in
-          (* idempotent: remapping the same prelinked range is harmless *)
-          if Aspace.find_region p.aspace lo = None then
-            Aspace.add_region p.aspace
-              {
-                lo;
-                hi;
-                kind = Pte.Lib;
-                writable = false;
-                execable = true;
-                source = Image_bytes { base = lib.lib_base; bytes = lib.code };
-              };
-          sebek_trace t p "uselib" (Fmt.str "%S -> 0x%08x" name lib.lib_base);
-          ret lib.lib_base
-        end)
-    | 158 ->
-      (* sched_yield() *)
-      ret 0
-    | _ -> ret (-38)
-  with
-  | Efault -> ret (-14)
-  | Frame_alloc.Out_of_frames -> kill t p Proc.Sigkill
-
-(* ------------------------------------------------------------------ *)
-(* Page-fault dispatch                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* Software-managed-TLB miss service (SPARC-style, paper §4.7): permission
-   checks and COW happen here, then the protection chooses the frame to
-   load (split routing) or the kernel fills straight from the PTE. *)
-let handle_tlb_miss t (p : Proc.t) (f : Hw.Mmu.fault) (pte : Pte.t) =
-  if f.access = Hw.Mmu.Write && pte.cow && pte.orig_writable then begin
-    (* COW is a full kernel page-fault service even on soft-TLB machines *)
-    Hw.Cost.charge_trap t.cost;
-    cow_service t pte
-  end
-  else if
-    (f.from_user && (not pte.user) && not (Pte.is_split pte))
-    || (f.access = Hw.Mmu.Write && not pte.writable)
-  then kill t p Proc.Sigsegv
-  else
-    match t.protection.on_tlb_fill (ctx t) p f pte with
-    | Protection.Fill entry -> Hw.Mmu.load_tlb t.mmu f.access entry
-    | Protection.Default_fill ->
-      Hw.Mmu.load_tlb t.mmu f.access
-        { vpn = pte.vpn; frame = pte.frame; user = pte.user; writable = pte.writable;
-          nx = pte.nx }
-    | Protection.Deny_fill -> kill t p Proc.Sigsegv
-
-let handle_page_fault t (p : Proc.t) (f : Hw.Mmu.fault) =
-  let vpn = f.addr / t.page_size in
-  match Aspace.pte p.aspace vpn with
-  | None ->
-    (* demand paging is a full kernel fault even when the hardware
-       delivered it as a lightweight TLB-miss trap *)
-    if f.kind = Hw.Mmu.Tlb_miss then Hw.Cost.charge_trap t.cost;
-    (match Aspace.find_region p.aspace vpn with
-    | Some region -> ignore (map_demand_page t p region vpn)
-    | None -> kill t p Proc.Sigsegv)
-  | Some pte -> (
-    match f.kind with
-    | Hw.Mmu.Not_present -> kill t p Proc.Sigsegv
-    | Hw.Mmu.Tlb_miss -> handle_tlb_miss t p f pte
-    | Hw.Mmu.Protection ->
-      if f.access = Hw.Mmu.Write && pte.cow && pte.orig_writable then cow_service t pte
-      else (
-        match t.protection.on_protection_fault (ctx t) p f with
-        | Protection.Handled -> ()
-        | Protection.Not_ours -> kill t p Proc.Sigsegv))
-
-(* ------------------------------------------------------------------ *)
-(* Scheduler                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let wake t =
-  List.iter
-    (fun (p : Proc.t) ->
-      match p.state with
-      | Proc.Blocked cond ->
-        let ready =
-          match cond with
-          | Proc.Read_fd fd -> (
-            match Proc.fd p fd with
-            | Some (Read_end pipe) -> not (Pipe.is_empty pipe) || not (Pipe.has_writers pipe)
-            | Some (Write_end _) | None -> true)
-          | Proc.Write_fd fd -> (
-            match Proc.fd p fd with
-            | Some (Write_end pipe) -> Pipe.space pipe > 0 || not (Pipe.has_readers pipe)
-            | Some (Read_end _) | None -> true)
-          | Proc.Child target ->
-            let children =
-              List.filter
-                (fun (c : Proc.t) -> target = 0 || c.pid = target)
-                (children_of t p)
-            in
-            children = [] || List.exists Proc.is_zombie children
-        in
-        if ready then begin
-          p.state <- Proc.Runnable;
-          enqueue t p
-        end
-      | Proc.Runnable | Proc.Zombie _ -> ())
-    (procs t)
-
-let rec dequeue_runnable t =
-  match Queue.take_opt t.runq with
-  | None -> None
-  | Some pid -> (
-    match proc t pid with
-    | Some p when Proc.is_runnable p -> Some p
-    | Some _ | None -> dequeue_runnable t)
-
-let all_zombie t = List.for_all Proc.is_zombie (procs t)
-
-let load_pagetables t (p : Proc.t) =
-  if t.protection.dual_pagetables then
-    Hw.Mmu.reload_cr3_dual t.mmu
-      ~code:(Aspace.walk_code_view p.aspace)
-      ~data:(Aspace.walk_data_view p.aspace)
-  else Hw.Mmu.reload_cr3 t.mmu (Aspace.walk p.aspace)
-
-let switch_to t (p : Proc.t) =
-  if t.last_running <> Some p.pid then begin
-    Hw.Cost.charge_ctx_switch t.cost;
-    load_pagetables t p;
-    t.last_running <- Some p.pid;
-    if Obs.enabled t.obs then
-      Obs.event t.obs ~cat:"os" "os.ctx_switch" ~args:[ ("pid", Obs.Json.Int p.pid) ]
-  end
-
-(* The timer interrupt: charges the trap, and every [daemon_period]-th tick
-   a background task (kflushd, a logging daemon...) actually runs, which is
-   a real context switch and flushes both TLBs. This is the background
-   activity that keeps split pages re-faulting even in single-process
-   workloads, as on the paper's testbed. *)
-let timer_tick t =
-  if t.cost.cycles >= t.next_tick then begin
-    Hw.Cost.charge_trap t.cost;
-    t.ticks <- t.ticks + 1;
-    if t.cost.params.daemon_period > 0 && t.ticks mod t.cost.params.daemon_period = 0
-    then begin
-      Hw.Cost.charge_ctx_switch t.cost;
-      Hw.Mmu.flush_tlbs t.mmu
-    end;
-    t.next_tick <- t.cost.cycles + t.cost.params.timer_tick_cycles
-  end
-
-let run_quantum t (p : Proc.t) fuel =
-  let steps = ref t.quantum in
-  while Proc.is_runnable p && !steps > 0 && !fuel > 0 do
-    decr steps;
-    decr fuel;
-    timer_tick t;
-    let eip_before = p.regs.eip in
-    let r = Hw.Cpu.step t.mmu p.regs in
-    (match r.outcome with Ok _ -> Proc.record_trace p eip_before | Error _ -> ());
-    (match r.outcome with
-    | Ok Hw.Cpu.Retired ->
-      Hw.Cost.charge_insn t.cost;
-      (match t.hot with None -> () | Some h -> Obs.Metrics.incr h.h_retired)
-    | Ok (Hw.Cpu.Syscall n) ->
-      let since = t.cost.cycles in
-      Hw.Cost.charge_insn t.cost;
-      Hw.Cost.charge_syscall t.cost;
-      handle_syscall t p n;
-      (match t.hot with
-      | None -> ()
-      | Some h ->
-        Obs.Metrics.incr h.h_retired;
-        Obs.Metrics.incr h.h_syscalls;
-        Obs.Metrics.observe h.h_syscall_cycles (t.cost.cycles - since);
-        Obs.Metrics.incr_label h.h_sys_by_name (syscall_name n);
-        Obs.Metrics.incr_label h.h_sys_by_pid (string_of_int p.pid))
-    | Error (Hw.Cpu.Page f) ->
-      let since = t.cost.cycles in
-      (* software TLB-miss traps are lightweight (their cost is charged by
-         the fill itself); everything else is a full kernel trap *)
-      if f.kind <> Hw.Mmu.Tlb_miss then Hw.Cost.charge_trap t.cost;
-      handle_page_fault t p f;
-      (match t.hot with
-      | None -> ()
-      | Some h ->
-        Obs.Metrics.incr h.h_faults;
-        Obs.Metrics.observe h.h_fault_cycles (t.cost.cycles - since);
-        Obs.Metrics.incr_label h.h_faults_by_page
-          (Fmt.str "0x%05x" (f.addr / t.page_size));
-        Obs.Metrics.incr_label h.h_faults_by_pid (string_of_int p.pid);
-        Obs.complete t.obs ~cat:"os" ~since "os.fault_service"
-          ~args:
-            [ ("pid", Obs.Json.Int p.pid); ("addr", Obs.Json.Str (Fmt.str "0x%08x" f.addr)) ])
-    | Error (Hw.Cpu.Invalid_opcode { eip; opcode }) -> (
-      Hw.Cost.charge_trap t.cost;
-      match t.protection.on_invalid_opcode (ctx t) p ~eip ~opcode with
-      | Protection.Benign -> kill t p Proc.Sigill
-      | Protection.Resume -> ()
-      | Protection.Kill_process _reason -> kill t p Proc.Sigill)
-    | Error (Hw.Cpu.General_protection _) ->
-      Hw.Cost.charge_trap t.cost;
-      kill t p Proc.Sigsegv);
-    if r.debug_trap && Proc.is_runnable p then begin
-      Hw.Cost.charge_trap t.cost;
-      if not (t.protection.on_debug_trap (ctx t) p) then p.regs.tf <- false
-    end
-  done;
-  if Proc.is_runnable p then enqueue t p
-
-let run ?(fuel = 50_000_000) t =
-  let fuel = ref fuel in
-  let rec loop () =
-    wake t;
-    (* quantum-boundary hook: the machine is in a consistent, resumable
-       state here (no quantum in flight), which is exactly where periodic
-       checkpointing must sample it *)
-    (match t.sched_hook with Some f -> f () | None -> ());
-    if !fuel <= 0 then Fuel_exhausted
-    else
-      match dequeue_runnable t with
-      | None -> if all_zombie t then All_exited else All_blocked
-      | Some p ->
-        switch_to t p;
-        run_quantum t p fuel;
-        loop ()
-  in
-  loop ()
-
-(* ------------------------------------------------------------------ *)
-(* Snapshot support: raw scheduler/system state exposure               *)
-(* ------------------------------------------------------------------ *)
-
-let set_sched_hook t hook = t.sched_hook <- hook
-let quantum t = t.quantum
-
-type sched_state = {
-  s_runq : int list;  (* front of the queue first *)
+type sched_state = Sched.state = {
+  s_runq : int list;
   s_rng : Random.State.t;
   s_last_running : int option;
   s_next_pid : int;
@@ -927,35 +74,15 @@ type sched_state = {
   s_lib_cursor : int;
 }
 
-let sched_state t =
-  {
-    s_runq = List.of_seq (Queue.to_seq t.runq);
-    s_rng = Random.State.copy t.rng;
-    s_last_running = t.last_running;
-    s_next_pid = t.next_pid;
-    s_next_tick = t.next_tick;
-    s_ticks = t.ticks;
-    s_lib_cursor = t.lib_cursor;
-  }
+let sched_state = Sched.state
+let restore_sched_state = Sched.restore
 
-let restore_sched_state t (s : sched_state) =
-  Queue.clear t.runq;
-  List.iter (fun pid -> Queue.add pid t.runq) s.s_runq;
-  t.rng <- Random.State.copy s.s_rng;
-  t.last_running <- s.s_last_running;
-  t.next_pid <- s.s_next_pid;
-  t.next_tick <- s.s_next_tick;
-  t.ticks <- s.s_ticks;
-  t.lib_cursor <- s.s_lib_cursor
+let libraries = Machine.libraries
+let restore_libraries = Machine.restore_libraries
+let replace_procs = Machine.replace_procs
 
-let libraries t =
-  Hashtbl.fold (fun name lib acc -> (name, lib) :: acc) t.libraries []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
 
-let restore_libraries t libs =
-  Hashtbl.reset t.libraries;
-  List.iter (fun (name, lib) -> Hashtbl.replace t.libraries name lib) libs
-
-let replace_procs t ps =
-  Hashtbl.reset t.procs;
-  List.iter (fun (p : Proc.t) -> Hashtbl.replace t.procs p.pid p) ps
+let set_syscall_tracer (t : t) tracer = t.Machine.syscall_tracer <- tracer

@@ -4,7 +4,13 @@
 
     The guest/host boundary mirrors the paper's: guest code runs on the
     simulated CPU in user mode; everything here is "kernel" and manipulates
-    PTEs and TLBs the way the Linux patch of §5 does. *)
+    PTEs and TLBs the way the Linux patch of §5 does.
+
+    This module is a facade over four explicit layers — {!Machine} (state
+    and memory/process services), {!Syscalls} (the declarative syscall
+    table), {!Trap} (trap taxonomy and dispatch through the protection
+    hooks) and {!Sched} (the run loop). Use {!machine} to reach a layer
+    directly; this API is the stable surface. *)
 
 exception Rejected_image of string
 (** Raised by {!spawn} when signature verification fails (paper §4.3). *)
@@ -116,7 +122,7 @@ val set_sched_hook : t -> (unit -> unit) option -> unit
     {!wake}, before dispatch) — the only points where the machine state is
     quiescent and a periodic checkpoint can be taken safely. *)
 
-type sched_state = {
+type sched_state = Sched.state = {
   s_runq : int list;  (** run queue, front first *)
   s_rng : Random.State.t;  (** deep copy of the kernel PRNG *)
   s_last_running : int option;
@@ -131,7 +137,7 @@ val sched_state : t -> sched_state
 
 val restore_sched_state : t -> sched_state -> unit
 
-type library = { lib_base : int; code : string; lib_signature : int }
+type library = Machine.library = { lib_base : int; code : string; lib_signature : int }
 
 val libraries : t -> (string * library) list
 (** Registered dynamic libraries, sorted by name. *)
@@ -141,3 +147,15 @@ val restore_libraries : t -> (string * library) list -> unit
 val replace_procs : t -> Proc.t list -> unit
 (** Replace the whole process table (snapshot restore). Does not touch the
     run queue — pair with {!restore_sched_state}. *)
+
+(** {2 Layer access} *)
+
+val machine : t -> Machine.t
+(** The machine behind the facade (the identity — [t] {e is} the machine).
+    Hands the kernel's internal layers ({!Sched}, {!Trap}, {!Syscalls})
+    and tools direct access to the state layer. *)
+
+val set_syscall_tracer : t -> (Machine.syscall_trace -> unit) option -> unit
+(** Install (or clear) the per-syscall tracer consulted by
+    {!Syscalls.dispatch} — one {!Machine.syscall_trace} record per
+    dispatched syscall. simctl's [--strace] is built on this. *)

@@ -1,0 +1,141 @@
+(* The scheduler layer: round-robin run loop, quantum accounting, timer
+   ticks, fuel handling, and the raw scheduler-state export consumed by
+   lib/snap. Traps raised by the running process are handed to
+   [Trap.deliver]; everything else here is pure CPU-time bookkeeping. *)
+
+module M = Machine
+
+type stop_reason = All_exited | All_blocked | Fuel_exhausted
+
+let wake (m : M.t) =
+  List.iter
+    (fun (p : Proc.t) ->
+      match p.state with
+      | Proc.Blocked cond ->
+        let ready =
+          match cond with
+          | Proc.Read_fd fd -> (
+            match Proc.fd p fd with
+            | Some (Read_end pipe) -> not (Pipe.is_empty pipe) || not (Pipe.has_writers pipe)
+            | Some (Write_end _) | None -> true)
+          | Proc.Write_fd fd -> (
+            match Proc.fd p fd with
+            | Some (Write_end pipe) -> Pipe.space pipe > 0 || not (Pipe.has_readers pipe)
+            | Some (Read_end _) | None -> true)
+          | Proc.Child target ->
+            let children =
+              List.filter
+                (fun (c : Proc.t) -> target = 0 || c.pid = target)
+                (M.children_of m p)
+            in
+            children = [] || List.exists Proc.is_zombie children
+        in
+        if ready then begin
+          p.state <- Proc.Runnable;
+          M.enqueue m p
+        end
+      | Proc.Runnable | Proc.Zombie _ -> ())
+    (M.procs m)
+
+let rec dequeue_runnable (m : M.t) =
+  match Queue.take_opt m.runq with
+  | None -> None
+  | Some pid -> (
+    match M.proc m pid with
+    | Some p when Proc.is_runnable p -> Some p
+    | Some _ | None -> dequeue_runnable m)
+
+let all_zombie (m : M.t) = List.for_all Proc.is_zombie (M.procs m)
+
+let switch_to (m : M.t) (p : Proc.t) =
+  if m.last_running <> Some p.pid then begin
+    Hw.Cost.charge_ctx_switch m.cost;
+    M.load_pagetables m p;
+    m.last_running <- Some p.pid;
+    if Obs.enabled m.obs then
+      Obs.event m.obs ~cat:"os" "os.ctx_switch" ~args:[ ("pid", Obs.Json.Int p.pid) ]
+  end
+
+(* The timer interrupt: charges the trap, and every [daemon_period]-th tick
+   a background task (kflushd, a logging daemon...) actually runs, which is
+   a real context switch and flushes both TLBs. This is the background
+   activity that keeps split pages re-faulting even in single-process
+   workloads, as on the paper's testbed. *)
+let timer_tick (m : M.t) =
+  if m.cost.cycles >= m.next_tick then begin
+    Hw.Cost.charge_trap m.cost;
+    m.ticks <- m.ticks + 1;
+    if m.cost.params.daemon_period > 0 && m.ticks mod m.cost.params.daemon_period = 0
+    then begin
+      Hw.Cost.charge_ctx_switch m.cost;
+      Hw.Mmu.flush_tlbs m.mmu
+    end;
+    m.next_tick <- m.cost.cycles + m.cost.params.timer_tick_cycles
+  end
+
+let run_quantum ?table (m : M.t) (p : Proc.t) fuel =
+  let steps = ref m.quantum in
+  while Proc.is_runnable p && !steps > 0 && !fuel > 0 do
+    decr steps;
+    decr fuel;
+    timer_tick m;
+    let eip_before = p.regs.eip in
+    let r = Hw.Cpu.step m.mmu p.regs in
+    (match r.outcome with Ok _ -> Proc.record_trace p eip_before | Error _ -> ());
+    Trap.deliver ?table m p r
+  done;
+  if Proc.is_runnable p then M.enqueue m p
+
+let run ?(fuel = 50_000_000) ?table (m : M.t) =
+  let fuel = ref fuel in
+  let rec loop () =
+    wake m;
+    (* quantum-boundary hook: the machine is in a consistent, resumable
+       state here (no quantum in flight), which is exactly where periodic
+       checkpointing must sample it *)
+    (match m.sched_hook with Some f -> f () | None -> ());
+    if !fuel <= 0 then Fuel_exhausted
+    else
+      match dequeue_runnable m with
+      | None -> if all_zombie m then All_exited else All_blocked
+      | Some p ->
+        switch_to m p;
+        run_quantum ?table m p fuel;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot support: raw scheduler/system state exposure               *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  s_runq : int list;  (* front of the queue first *)
+  s_rng : Random.State.t;
+  s_last_running : int option;
+  s_next_pid : int;
+  s_next_tick : int;
+  s_ticks : int;
+  s_lib_cursor : int;
+}
+
+let state (m : M.t) =
+  {
+    s_runq = List.of_seq (Queue.to_seq m.runq);
+    s_rng = Random.State.copy m.rng;
+    s_last_running = m.last_running;
+    s_next_pid = m.next_pid;
+    s_next_tick = m.next_tick;
+    s_ticks = m.ticks;
+    s_lib_cursor = m.lib_cursor;
+  }
+
+let restore (m : M.t) (s : state) =
+  Queue.clear m.runq;
+  List.iter (fun pid -> Queue.add pid m.runq) s.s_runq;
+  m.rng <- Random.State.copy s.s_rng;
+  m.last_running <- s.s_last_running;
+  m.next_pid <- s.s_next_pid;
+  m.next_tick <- s.s_next_tick;
+  m.ticks <- s.s_ticks;
+  m.lib_cursor <- s.s_lib_cursor

@@ -1,0 +1,45 @@
+(** The scheduler layer: round-robin run loop, quantum accounting, timer
+    ticks and fuel handling, extracted from the old kernel monolith. One
+    executed instruction per loop iteration; any trap the instruction
+    raised is handed to {!Trap.deliver}. *)
+
+type stop_reason = All_exited | All_blocked | Fuel_exhausted
+
+val wake : Machine.t -> unit
+(** Scan blocked processes and requeue the ones whose wait condition now
+    holds. *)
+
+val dequeue_runnable : Machine.t -> Proc.t option
+val all_zombie : Machine.t -> bool
+
+val switch_to : Machine.t -> Proc.t -> unit
+(** Context switch if [p] was not already running: charge it, load the
+    process pagetables (flushing the TLBs). *)
+
+val timer_tick : Machine.t -> unit
+
+val run_quantum : ?table:Syscalls.table -> Machine.t -> Proc.t -> int ref -> unit
+(** Run [p] for up to one quantum, decrementing [fuel] per instruction;
+    requeues the process if it is still runnable. *)
+
+val run : ?fuel:int -> ?table:Syscalls.table -> Machine.t -> stop_reason
+(** Schedule until every process exited, everything blocked, or fuel ran
+    out. [table] (default {!Syscalls.default}) is the syscall table traps
+    dispatch through. *)
+
+(** {2 Snapshot support} *)
+
+type state = {
+  s_runq : int list;  (** run queue, front first *)
+  s_rng : Random.State.t;  (** deep copy of the kernel PRNG *)
+  s_last_running : int option;
+  s_next_pid : int;
+  s_next_tick : int;
+  s_ticks : int;
+  s_lib_cursor : int;
+}
+
+val state : Machine.t -> state
+(** Deep copy of scheduler/loader bookkeeping. *)
+
+val restore : Machine.t -> state -> unit

@@ -1,0 +1,168 @@
+(* The trap layer: a first-class trap type unifying every [Hw.Cpu.step]
+   outcome, and the dispatch pipeline that routes each class to its
+   handler — the paper's architecture in miniature, since the whole
+   defense lives in trap handlers: Algorithm 1 in the page-fault handler
+   ([Protection.on_protection_fault]/[on_page_mapped]), Algorithm 2 in the
+   debug-interrupt handler ([on_debug_trap]), Algorithm 3 in the
+   invalid-opcode handler ([on_invalid_opcode]).
+
+   Cost-charging discipline (must stay bit-identical across refactors):
+   - retired instruction        -> charge_insn
+   - syscall                    -> charge_insn + charge_syscall
+   - page fault                 -> charge_trap, EXCEPT software TLB-miss
+     traps, whose cost is charged by the fill / full service itself
+   - #UD, #GP                   -> charge_trap
+   - #DB (trap flag, runnable)  -> charge_trap *)
+
+module M = Machine
+
+type t =
+  | Page_fault of Hw.Mmu.fault
+  | Syscall of int  (* EAX at [int 0x80] *)
+  | Invalid_opcode of { eip : int; opcode : int }
+  | General_protection of string
+  | Debug_trap
+
+let class_name = function
+  | Page_fault _ -> "page_fault"
+  | Syscall _ -> "syscall"
+  | Invalid_opcode _ -> "invalid_opcode"
+  | General_protection _ -> "general_protection"
+  | Debug_trap -> "debug_trap"
+
+(* One formatter for every trap class; the page-fault arm is the canonical
+   [Hw.Mmu.pp_fault], shared with [Hw.Cpu.pp_fault]. *)
+let pp ppf = function
+  | Page_fault f -> Hw.Mmu.pp_fault ppf f
+  | Syscall n -> Fmt.pf ppf "syscall eax=%d" n
+  | Invalid_opcode { eip; opcode } -> Fmt.pf ppf "#UD eip=0x%08x opcode=0x%02x" eip opcode
+  | General_protection s -> Fmt.pf ppf "#GP %s" s
+  | Debug_trap -> Fmt.string ppf "#DB"
+
+(* The primary trap of a step outcome; [None] for a plainly retired
+   instruction. A #DB rides on the [debug_trap] bit of the step and is
+   delivered separately, after the primary outcome (see [deliver]). *)
+let of_outcome : (Hw.Cpu.event, Hw.Cpu.fault) result -> t option = function
+  | Ok Hw.Cpu.Retired -> None
+  | Ok (Hw.Cpu.Syscall n) -> Some (Syscall n)
+  | Error (Hw.Cpu.Page f) -> Some (Page_fault f)
+  | Error (Hw.Cpu.Invalid_opcode { eip; opcode }) -> Some (Invalid_opcode { eip; opcode })
+  | Error (Hw.Cpu.General_protection s) -> Some (General_protection s)
+
+(* ------------------------------------------------------------------ *)
+(* Page-fault service                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Software-managed-TLB miss service (SPARC-style, paper §4.7): permission
+   checks and COW happen here, then the protection chooses the frame to
+   load (split routing) or the kernel fills straight from the PTE. *)
+let handle_tlb_miss (m : M.t) (p : Proc.t) (f : Hw.Mmu.fault) (pte : Pte.t) =
+  if f.access = Hw.Mmu.Write && pte.cow && pte.orig_writable then begin
+    (* COW is a full kernel page-fault service even on soft-TLB machines *)
+    Hw.Cost.charge_trap m.cost;
+    M.cow_service m pte
+  end
+  else if
+    (f.from_user && (not pte.user) && not (Pte.is_split pte))
+    || (f.access = Hw.Mmu.Write && not pte.writable)
+  then M.kill m p Proc.Sigsegv
+  else
+    match m.protection.on_tlb_fill (M.ctx m) p f pte with
+    | Protection.Fill entry -> Hw.Mmu.load_tlb m.mmu f.access entry
+    | Protection.Default_fill ->
+      Hw.Mmu.load_tlb m.mmu f.access
+        { vpn = pte.vpn; frame = pte.frame; user = pte.user; writable = pte.writable;
+          nx = pte.nx }
+    | Protection.Deny_fill -> M.kill m p Proc.Sigsegv
+
+let handle_page_fault (m : M.t) (p : Proc.t) (f : Hw.Mmu.fault) =
+  let vpn = f.addr / m.page_size in
+  match Aspace.pte p.aspace vpn with
+  | None ->
+    (* demand paging is a full kernel fault even when the hardware
+       delivered it as a lightweight TLB-miss trap *)
+    if f.kind = Hw.Mmu.Tlb_miss then Hw.Cost.charge_trap m.cost;
+    (match Aspace.find_region p.aspace vpn with
+    | Some region -> ignore (M.map_demand_page m p region vpn)
+    | None -> M.kill m p Proc.Sigsegv)
+  | Some pte -> (
+    match f.kind with
+    | Hw.Mmu.Not_present -> M.kill m p Proc.Sigsegv
+    | Hw.Mmu.Tlb_miss -> handle_tlb_miss m p f pte
+    | Hw.Mmu.Protection ->
+      if f.access = Hw.Mmu.Write && pte.cow && pte.orig_writable then M.cow_service m pte
+      else (
+        match m.protection.on_protection_fault (M.ctx m) p f with
+        | Protection.Handled -> ()
+        | Protection.Not_ours -> M.kill m p Proc.Sigsegv))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Serve one trap: charge its cost, route it to its handler (through the
+   [Protection.t] hooks where the class has one), and feed the per-class
+   observability instruments. *)
+let serve ?table (m : M.t) (p : Proc.t) trap =
+  (match m.hot with
+  | None -> ()
+  | Some h -> Obs.Metrics.incr_label h.h_traps_by_class (class_name trap));
+  match trap with
+  | Syscall n ->
+    let table = match table with Some t -> t | None -> Syscalls.default () in
+    let since = m.cost.cycles in
+    Hw.Cost.charge_insn m.cost;
+    Hw.Cost.charge_syscall m.cost;
+    Syscalls.dispatch table m p n;
+    (match m.hot with
+    | None -> ()
+    | Some h ->
+      Obs.Metrics.incr h.h_retired;
+      Obs.Metrics.incr h.h_syscalls;
+      Obs.Metrics.observe h.h_syscall_cycles (m.cost.cycles - since);
+      Obs.Metrics.incr_label h.h_sys_by_name (Syscalls.name table n);
+      Obs.Metrics.incr_label h.h_sys_by_pid (string_of_int p.pid))
+  | Page_fault f ->
+    let since = m.cost.cycles in
+    (* software TLB-miss traps are lightweight (their cost is charged by
+       the fill itself); everything else is a full kernel trap *)
+    if f.kind <> Hw.Mmu.Tlb_miss then Hw.Cost.charge_trap m.cost;
+    handle_page_fault m p f;
+    (match m.hot with
+    | None -> ()
+    | Some h ->
+      Obs.Metrics.incr h.h_faults;
+      Obs.Metrics.observe h.h_fault_cycles (m.cost.cycles - since);
+      Obs.Metrics.incr_label h.h_faults_by_page (Fmt.str "0x%05x" (f.addr / m.page_size));
+      Obs.Metrics.incr_label h.h_faults_by_pid (string_of_int p.pid);
+      Obs.complete m.obs ~cat:"os" ~since "os.fault_service"
+        ~args:
+          [ ("pid", Obs.Json.Int p.pid); ("addr", Obs.Json.Str (Fmt.str "0x%08x" f.addr)) ])
+  | Invalid_opcode { eip; opcode } -> (
+    Hw.Cost.charge_trap m.cost;
+    match m.protection.on_invalid_opcode (M.ctx m) p ~eip ~opcode with
+    | Protection.Benign -> M.kill m p Proc.Sigill
+    | Protection.Resume -> ()
+    | Protection.Kill_process _reason -> M.kill m p Proc.Sigill)
+  | General_protection _ ->
+    Hw.Cost.charge_trap m.cost;
+    M.kill m p Proc.Sigsegv
+  | Debug_trap ->
+    Hw.Cost.charge_trap m.cost;
+    if not (m.protection.on_debug_trap (M.ctx m) p) then p.regs.tf <- false
+
+(* Deliver a whole step result: the primary outcome first (retired
+   instructions just charge and count — they are not traps), then the
+   piggybacked #DB, which x86 raises after the instruction completes and
+   only if the fault path didn't already unschedule the process. *)
+let deliver ?table (m : M.t) (p : Proc.t) (r : Hw.Cpu.step) =
+  (match r.outcome with
+  | Ok Hw.Cpu.Retired ->
+    Hw.Cost.charge_insn m.cost;
+    (match m.hot with None -> () | Some h -> Obs.Metrics.incr h.h_retired)
+  | Ok (Hw.Cpu.Syscall n) -> serve ?table m p (Syscall n)
+  | Error (Hw.Cpu.Page f) -> serve ?table m p (Page_fault f)
+  | Error (Hw.Cpu.Invalid_opcode { eip; opcode }) ->
+    serve ?table m p (Invalid_opcode { eip; opcode })
+  | Error (Hw.Cpu.General_protection s) -> serve ?table m p (General_protection s));
+  if r.debug_trap && Proc.is_runnable p then serve ?table m p Debug_trap

@@ -1,0 +1,47 @@
+(** The trap layer: a first-class trap type unifying the CPU's step
+    outcomes, and the dispatch pipeline routing each class through the
+    {!Protection.t} hooks.
+
+    This boundary is where the paper's defense lives: Algorithm 1 runs in
+    the page-fault handler, Algorithm 2 in the debug-interrupt handler,
+    Algorithm 3 in the invalid-opcode handler (§5). The pipeline owns the
+    cost-charging discipline for every class and the per-class
+    observability instruments; {!Sched} calls {!deliver} once per executed
+    instruction. *)
+
+type t =
+  | Page_fault of Hw.Mmu.fault
+  | Syscall of int  (** EAX at [int 0x80] *)
+  | Invalid_opcode of { eip : int; opcode : int }
+  | General_protection of string
+  | Debug_trap  (** #DB: trap flag was set when the instruction retired *)
+
+val class_name : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** One formatter for all classes; page faults print via
+    {!Hw.Mmu.pp_fault}, the same formatter {!Hw.Cpu.pp_fault} uses. *)
+
+val of_outcome : (Hw.Cpu.event, Hw.Cpu.fault) result -> t option
+(** The primary trap of a step outcome; [None] for a plainly retired
+    instruction. The #DB piggybacks on [Hw.Cpu.step.debug_trap] and is
+    delivered after the primary outcome by {!deliver}. *)
+
+val handle_tlb_miss : Machine.t -> Proc.t -> Hw.Mmu.fault -> Pte.t -> unit
+(** Software-managed-TLB miss service (paper §4.7): COW and permission
+    checks, then the [on_tlb_fill] hook picks the frame to load. *)
+
+val handle_page_fault : Machine.t -> Proc.t -> Hw.Mmu.fault -> unit
+(** The page-fault handler: demand paging, COW, the Algorithm 1 hook
+    ([on_protection_fault]), or SIGSEGV. *)
+
+val serve : ?table:Syscalls.table -> Machine.t -> Proc.t -> t -> unit
+(** Serve one trap: charge its cost, route it to its handler, feed the
+    per-class metrics. [table] (default {!Syscalls.default}) is only
+    consulted for [Syscall] traps. *)
+
+val deliver : ?table:Syscalls.table -> Machine.t -> Proc.t -> Hw.Cpu.step -> unit
+(** Deliver a whole step result: the primary outcome (a retired
+    instruction charges and counts; a trap is {!serve}d), then the
+    piggybacked #DB — after the primary outcome, and only if the process
+    is still runnable, mirroring x86 delivery order. *)

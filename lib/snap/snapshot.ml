@@ -298,7 +298,8 @@ let checkpoint ?(meta = []) ?trigger os =
     else frames := (frame, Hw.Phys.to_string phys ~frame) :: !frames
   done;
   let pipes, procs = export_pipes_and_procs os in
-  let sched = Kernel.Os.sched_state os in
+  (* scheduler bookkeeping comes straight from the scheduler layer *)
+  let sched : Kernel.Sched.state = Kernel.Sched.state (Kernel.Os.machine os) in
   let snap =
     {
       sn_page_size = Kernel.Os.page_size os;
@@ -459,7 +460,7 @@ let restore os snap =
   in
   Kernel.Os.replace_procs os (List.map build_proc snap.sn_procs);
   Kernel.Os.restore_libraries os snap.sn_libs;
-  Kernel.Os.restore_sched_state os
+  Kernel.Sched.restore (Kernel.Os.machine os)
     {
       s_runq = snap.sn_runq;
       s_rng = (Marshal.from_string snap.sn_rng 0 : Random.State.t);

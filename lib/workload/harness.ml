@@ -129,8 +129,9 @@ let build ?(obs = Obs.null) s =
     wire procs);
   k
 
-let run_k ?obs s =
+let run_k ?obs ?tune s =
   let k = build ?obs s in
+  Option.iter (fun f -> f k) tune;
   (finish ~label:s.label ~defense:(Defense.name s.defense) k ~fuel:s.fuel, k)
 
 let run ?obs s = fst (run_k ?obs s)

@@ -111,9 +111,11 @@ val run : ?obs:Obs.t -> spec -> result
 (** Build and run to completion. @raise Did_not_finish on deadlock or fuel
     exhaustion. *)
 
-val run_k : ?obs:Obs.t -> spec -> result * Kernel.Os.t
+val run_k : ?obs:Obs.t -> ?tune:(Kernel.Os.t -> unit) -> spec -> result * Kernel.Os.t
 (** Like {!run}, but also returns the kernel, whose trace/metric state
-    ([obs]) and hardware statistics remain inspectable. *)
+    ([obs]) and hardware statistics remain inspectable. [tune] runs on the
+    freshly built machine before it does — e.g. installing a syscall
+    tracer. *)
 
 val run_fleet :
   ?obs:Obs.t -> ?jobs:int -> spec list -> (result, Fleet.error) Stdlib.result list

@@ -24,4 +24,5 @@ let () =
       ("dynlib", Test_dynlib.suite);
       ("obs", Test_obs.suite);
       ("snap", Test_snap.suite);
+      ("trap", Test_trap.suite);
     ]

@@ -1,0 +1,302 @@
+(* The refactor-equivalence gate for the layered kernel (trap pipeline,
+   syscall table, extracted scheduler, MMU fast path).
+
+   Two families of checks:
+
+   - Golden shapes: every [Snap.Scenario] canonical machine is run to
+     completion and its observable shape — stop reason, all seven cost
+     counters, and the full kernel event log — is compared line-for-line
+     against a committed golden file captured on the pre-refactor kernel.
+     Any change to trap routing, syscall dispatch, scheduling order or MMU
+     cost charging shows up here as a diff.
+
+   - Replay self-equivalence: [Snap.Replay.check] checkpoints each scenario
+     mid-run, finishes it, restores and re-runs — bit-identical event logs
+     and cycle counters or the test fails.
+
+   Regenerate goldens (only for an intentional behaviour change) with:
+     REGEN_GOLDEN=test/golden dune exec test/test_main.exe -- test trap *)
+
+let golden_dir = "golden"
+
+let stop_name : Kernel.Os.stop_reason -> string = function
+  | All_exited -> "all_exited"
+  | All_blocked -> "all_blocked"
+  | Fuel_exhausted -> "fuel_exhausted"
+
+(* The canonical observable shape of a finished machine. *)
+let shape (scenario : Snap.Scenario.t) =
+  let os = scenario.start () in
+  let stop = Kernel.Os.run ~fuel:2_000_000 os in
+  let c = Kernel.Os.cost os in
+  let b = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "scenario: %s" scenario.name;
+  line "stop: %s" (stop_name stop);
+  line "cycles: %d" c.cycles;
+  line "insns: %d" c.insns;
+  line "traps: %d" c.traps;
+  line "split_faults: %d" c.split_faults;
+  line "single_steps: %d" c.single_steps;
+  line "syscalls: %d" c.syscalls;
+  line "ctx_switches: %d" c.ctx_switches;
+  line "events:";
+  List.iter
+    (fun e -> line "  %s" (Fmt.str "%a" Kernel.Event_log.pp_event e))
+    (Kernel.Event_log.to_list (Kernel.Os.log os));
+  Buffer.contents b
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let golden_path name = Filename.concat golden_dir (name ^ ".golden")
+
+let test_golden (scenario : Snap.Scenario.t) () =
+  let got = shape scenario in
+  match Sys.getenv_opt "REGEN_GOLDEN" with
+  | Some dir ->
+    let path = Filename.concat dir (scenario.name ^ ".golden") in
+    let oc = open_out_bin path in
+    output_string oc got;
+    close_out oc;
+    Fmt.epr "regenerated %s@." path
+  | None ->
+    let path = golden_path scenario.name in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "missing golden file %s (run with REGEN_GOLDEN)" path;
+    let want = read_file path in
+    if got <> want then begin
+      (* line-level diff beats a 2KB string blob in the failure output *)
+      let split s = String.split_on_char '\n' s in
+      let rec first_diff i = function
+        | [], [] -> None
+        | a :: _, [] -> Some (i, a, "<missing>")
+        | [], b :: _ -> Some (i, "<missing>", b)
+        | a :: ta, b :: tb -> if a <> b then Some (i, a, b) else first_diff (i + 1) (ta, tb)
+      in
+      match first_diff 1 (split want, split got) with
+      | Some (ln, w, g) ->
+        Alcotest.failf "golden mismatch for %s at line %d:@.  golden: %s@.  got:    %s"
+          scenario.name ln w g
+      | None -> Alcotest.failf "golden mismatch for %s (whitespace only?)" scenario.name
+    end
+
+let test_replay (scenario : Snap.Scenario.t) () =
+  let os = scenario.start () in
+  let report, _snap = Snap.Replay.check os in
+  if not (Snap.Replay.ok report) then
+    Alcotest.failf "replay diverged for %s: %a" scenario.name Snap.Replay.pp report
+
+let scenario_tests =
+  List.concat_map
+    (fun (s : Snap.Scenario.t) ->
+      [
+        Alcotest.test_case (Fmt.str "golden shape: %s" s.name) `Quick (test_golden s);
+        Alcotest.test_case (Fmt.str "replay equivalence: %s" s.name) `Quick (test_replay s);
+      ])
+    Snap.Scenario.all
+
+(* ------------------------------------------------------------------ *)
+(* Syscall-table unit tests                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mk_machine () = Kernel.Machine.create ~protection:Kernel.Protection.none ()
+
+(* A bare process, good enough for register-only syscalls. *)
+let mk_proc (m : Kernel.Machine.t) =
+  let aspace = Kernel.Aspace.create ~page_size:4096 in
+  let p = Kernel.Proc.create ~pid:1 ~name:"t" ~aspace in
+  Hashtbl.replace m.procs 1 p;
+  p
+
+let eax (p : Kernel.Proc.t) = Hw.Cpu.sign32 (Hw.Cpu.get p.regs Isa.Reg.EAX)
+let set_reg (p : Kernel.Proc.t) r v = Hw.Cpu.set p.regs r v
+
+let test_table_registration () =
+  let tbl = Kernel.Syscalls.create () in
+  Kernel.Syscalls.register tbl 99 ~name:"frobnicate" (fun _m p ->
+      Hw.Cpu.set p.Kernel.Proc.regs Isa.Reg.EAX 42);
+  Alcotest.(check (list int)) "numbers" [ 99 ] (Kernel.Syscalls.numbers tbl);
+  Alcotest.(check string) "registered name" "frobnicate" (Kernel.Syscalls.name tbl 99);
+  Alcotest.(check string) "fallback name" "sys_7" (Kernel.Syscalls.name tbl 7);
+  let m = mk_machine () in
+  let p = mk_proc m in
+  Kernel.Syscalls.dispatch tbl m p 99;
+  Alcotest.(check int) "handler ran" 42 (eax p);
+  (* re-registration replaces the binding *)
+  Kernel.Syscalls.register tbl 99 ~name:"frobnicate2" (fun _ p ->
+      Hw.Cpu.set p.Kernel.Proc.regs Isa.Reg.EAX 43);
+  Kernel.Syscalls.dispatch tbl m p 99;
+  Alcotest.(check int) "replaced handler ran" 43 (eax p);
+  Alcotest.(check (list int)) "still one entry" [ 99 ] (Kernel.Syscalls.numbers tbl)
+
+let test_table_unknown () =
+  let tbl = Kernel.Syscalls.create () in
+  let m = mk_machine () in
+  let p = mk_proc m in
+  Kernel.Syscalls.dispatch tbl m p 12345;
+  Alcotest.(check int) "-ENOSYS" (-38) (eax p);
+  Alcotest.(check string) "unknown name" "sys_12345" (Kernel.Syscalls.name tbl 12345);
+  Alcotest.(check bool) "still runnable" true (Kernel.Proc.is_runnable p)
+
+let test_table_default () =
+  let tbl = Kernel.Syscalls.default () in
+  Alcotest.(check (list int)) "default numbers"
+    [ 1; 2; 3; 4; 6; 7; 11; 13; 20; 42; 45; 48; 90; 125; 137; 158 ]
+    (Kernel.Syscalls.numbers tbl);
+  List.iter
+    (fun (n, name) ->
+      Alcotest.(check string) (Fmt.str "name of %d" n) name (Kernel.Syscalls.name tbl n))
+    [ (1, "exit"); (2, "fork"); (4, "write"); (137, "uselib"); (158, "sched_yield") ];
+  (* the facade's syscall_name is the same table *)
+  Alcotest.(check string) "Os.syscall_name" "mmap" (Kernel.Os.syscall_name 90);
+  Alcotest.(check string) "Os.syscall_name fallback" "sys_999" (Kernel.Os.syscall_name 999)
+
+let test_table_efault () =
+  let tbl = Kernel.Syscalls.create () in
+  Kernel.Syscalls.register tbl 50 ~name:"bad_pointer" (fun _ _ -> raise Kernel.Machine.Efault);
+  let m = mk_machine () in
+  let p = mk_proc m in
+  Kernel.Syscalls.dispatch tbl m p 50;
+  Alcotest.(check int) "-EFAULT" (-14) (eax p)
+
+let test_table_tracer () =
+  let m = mk_machine () in
+  let p = mk_proc m in
+  let traces = ref [] in
+  m.syscall_tracer <- Some (fun tr -> traces := tr :: !traces);
+  set_reg p Isa.Reg.EAX 20;
+  set_reg p Isa.Reg.EBX 111;
+  set_reg p Isa.Reg.ECX 222;
+  set_reg p Isa.Reg.EDX 333;
+  Kernel.Syscalls.dispatch (Kernel.Syscalls.default ()) m p 20;
+  Kernel.Syscalls.dispatch (Kernel.Syscalls.default ()) m p 12345;
+  match List.rev !traces with
+  | [ t1; t2 ] ->
+    Alcotest.(check string) "traced name" "getpid" t1.Kernel.Machine.sys_name;
+    Alcotest.(check int) "traced pid" 1 t1.Kernel.Machine.sys_pid;
+    (match t1.Kernel.Machine.sys_args with
+    | 111, 222, 333 -> ()
+    | _ -> Alcotest.fail "args not captured at entry");
+    (match t1.Kernel.Machine.sys_outcome with
+    | Kernel.Machine.Returned 1 -> ()
+    | _ -> Alcotest.fail "expected Returned 1 (the pid)");
+    Alcotest.(check string) "unknown traced too" "sys_12345" t2.Kernel.Machine.sys_name;
+    (match t2.Kernel.Machine.sys_outcome with
+    | Kernel.Machine.Returned -38 -> ()
+    | _ -> Alcotest.fail "expected Returned -38")
+  | l -> Alcotest.failf "expected 2 trace records, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Trap-pipeline unit tests                                            *)
+(* ------------------------------------------------------------------ *)
+
+let some_fault : Hw.Mmu.fault =
+  { addr = 0x08048123; access = Hw.Mmu.Write; kind = Hw.Mmu.Protection; from_user = true }
+
+let test_classify () =
+  let check_class outcome want =
+    let got = Option.map Kernel.Trap.class_name (Kernel.Trap.of_outcome outcome) in
+    Alcotest.(check (option string)) "class" want got
+  in
+  check_class (Ok Hw.Cpu.Retired) None;
+  check_class (Ok (Hw.Cpu.Syscall 4)) (Some "syscall");
+  check_class (Error (Hw.Cpu.Page some_fault)) (Some "page_fault");
+  check_class
+    (Error (Hw.Cpu.Invalid_opcode { eip = 0; opcode = 0xCD }))
+    (Some "invalid_opcode");
+  check_class (Error (Hw.Cpu.General_protection "hlt")) (Some "general_protection")
+
+(* The #DB must be delivered after the primary trap of the same step, and
+   only if that trap left the process runnable. *)
+let test_debug_trap_ordering () =
+  let calls = ref [] in
+  let protection =
+    {
+      Kernel.Protection.none with
+      on_invalid_opcode =
+        (fun _ _ ~eip:_ ~opcode:_ ->
+          calls := "ud" :: !calls;
+          Kernel.Protection.Resume);
+      on_debug_trap =
+        (fun _ _ ->
+          calls := "db" :: !calls;
+          true);
+    }
+  in
+  let m = Kernel.Machine.create ~protection () in
+  let p = mk_proc m in
+  let step : Hw.Cpu.step =
+    { outcome = Error (Hw.Cpu.Invalid_opcode { eip = 0x1000; opcode = 0x0F });
+      debug_trap = true }
+  in
+  Kernel.Trap.deliver m p step;
+  Alcotest.(check (list string)) "primary trap before #DB" [ "ud"; "db" ] (List.rev !calls)
+
+let test_debug_trap_skipped_when_killed () =
+  let db_calls = ref 0 in
+  let protection =
+    {
+      Kernel.Protection.none with
+      on_debug_trap =
+        (fun _ _ ->
+          incr db_calls;
+          true);
+    }
+  in
+  let m = Kernel.Machine.create ~protection () in
+  let p = mk_proc m in
+  (* a #GP kills the process; the piggybacked #DB must then be dropped *)
+  let step : Hw.Cpu.step =
+    { outcome = Error (Hw.Cpu.General_protection "hlt in user mode"); debug_trap = true }
+  in
+  Kernel.Trap.deliver m p step;
+  Alcotest.(check bool) "killed" false (Kernel.Proc.is_runnable p);
+  Alcotest.(check int) "#DB dropped" 0 !db_calls
+
+let test_invalid_opcode_verdicts () =
+  let run verdict =
+    let protection =
+      { Kernel.Protection.none with on_invalid_opcode = (fun _ _ ~eip:_ ~opcode:_ -> verdict) }
+    in
+    let m = Kernel.Machine.create ~protection () in
+    let p = mk_proc m in
+    Kernel.Trap.serve m p (Kernel.Trap.Invalid_opcode { eip = 0x1000; opcode = 0xFF });
+    Kernel.Proc.is_runnable p
+  in
+  Alcotest.(check bool) "Resume keeps running" true (run Kernel.Protection.Resume);
+  Alcotest.(check bool) "Benign kills (SIGILL)" false (run Kernel.Protection.Benign);
+  Alcotest.(check bool) "Kill_process kills" false (run (Kernel.Protection.Kill_process "x"))
+
+(* Satellite: every layer prints faults through the one MMU formatter. *)
+let test_unified_fault_format () =
+  let mmu_s = Fmt.str "%a" Hw.Mmu.pp_fault some_fault in
+  Alcotest.(check string) "canonical shape"
+    "#PF addr=0x08048123 access=write kind=protection mode=user" mmu_s;
+  Alcotest.(check string) "Cpu.pp_fault delegates" mmu_s
+    (Fmt.str "%a" Hw.Cpu.pp_fault (Hw.Cpu.Page some_fault));
+  Alcotest.(check string) "Trap.pp delegates" mmu_s
+    (Fmt.str "%a" Kernel.Trap.pp (Kernel.Trap.Page_fault some_fault));
+  Alcotest.(check string) "#UD shape" "#UD eip=0x00001000 opcode=0xcd"
+    (Fmt.str "%a" Kernel.Trap.pp (Kernel.Trap.Invalid_opcode { eip = 0x1000; opcode = 0xCD }))
+
+let unit_tests =
+  [
+    Alcotest.test_case "syscall table: registration" `Quick test_table_registration;
+    Alcotest.test_case "syscall table: unknown number" `Quick test_table_unknown;
+    Alcotest.test_case "syscall table: default entries" `Quick test_table_default;
+    Alcotest.test_case "syscall table: Efault maps to -EFAULT" `Quick test_table_efault;
+    Alcotest.test_case "syscall table: tracer" `Quick test_table_tracer;
+    Alcotest.test_case "trap pipeline: classification" `Quick test_classify;
+    Alcotest.test_case "trap pipeline: #DB after primary" `Quick test_debug_trap_ordering;
+    Alcotest.test_case "trap pipeline: #DB dropped on kill" `Quick
+      test_debug_trap_skipped_when_killed;
+    Alcotest.test_case "trap pipeline: #UD verdicts" `Quick test_invalid_opcode_verdicts;
+    Alcotest.test_case "unified fault formatter" `Quick test_unified_fault_format;
+  ]
+
+let suite = scenario_tests @ unit_tests
