@@ -526,12 +526,13 @@ let alloc_gate baseline_file =
    per-run counters (with per-job wall-clock), the fleet's own stats and
    the merged metrics registry as one JSON document.
 
-   Schema split-memory-bench/3: everything /2 had (which had everything /1
-   had, plus "jobs", per-benchmark "wall_us" and the "fleet" object), plus
-   the "alloc" object: minor-heap words allocated per simulated
-   instruction for the quickstart and fig-7 ctxsw workloads — the MMU
-   fast-path regression watch. Earlier consumers keep working: existing
-   fields are unchanged, additions are additive. *)
+   Schema split-memory-bench/4: everything /3 had (which stacked "jobs",
+   per-benchmark "wall_us", the "fleet" object and the "alloc" object on
+   top of /1), plus the "inject" object: the seed-7 fault-injection
+   campaign's per-plan verdicts and the detected/masked/escaped/clean
+   tally from lib/inject's differential no-fault oracle. Earlier
+   consumers keep working: existing fields are unchanged, additions are
+   additive. *)
 let json_bench file =
   let module J = Obs.Json in
   let module F = Workload.Figures in
@@ -594,14 +595,48 @@ let json_bench file =
          (fun (n, v) -> (n ^ "_minor_words_per_insn", J.Float v))
          (alloc_numbers ()))
   in
+  let inject_json =
+    let seed = 7 in
+    let verdicts = Inject.campaign ~obs ~jobs:!jobs (Inject.default_plans ~seed ()) in
+    let detected, masked, escaped, clean = Inject.tally verdicts in
+    J.Obj
+      [
+        ("seed", J.Int seed);
+        ("plans", J.Int (List.length verdicts));
+        ( "injected",
+          J.Int (List.fold_left (fun a (v : Inject.verdict) -> a + v.v_injected) 0 verdicts)
+        );
+        ("detected", J.Int detected);
+        ("masked", J.Int masked);
+        ("escaped", J.Int escaped);
+        ("clean", J.Int clean);
+        ( "verdicts",
+          J.List
+            (List.map
+               (fun (v : Inject.verdict) ->
+                 J.Obj
+                   [
+                     ("plan", J.Str v.v_label);
+                     ("scenario", J.Str v.v_scenario);
+                     ("classes", J.Str v.v_classes);
+                     ("outcome", J.Str (Inject.outcome_name v.v_outcome));
+                     ("injected", J.Int v.v_injected);
+                     ("detections", J.Int v.v_detections);
+                     ("cycles_base", J.Int v.v_base_cycles);
+                     ("cycles", J.Int v.v_cycles);
+                   ])
+               verdicts) );
+      ]
+  in
   let doc =
     J.Obj
       [
-        ("schema", J.Str "split-memory-bench/3");
+        ("schema", J.Str "split-memory-bench/4");
         ("jobs", J.Int !jobs);
         ("benchmarks", J.List runs);
         ("fleet", fleet_json);
         ("alloc", alloc_json);
+        ("inject", inject_json);
         ("metrics", Obs.Metrics.to_json (Obs.snapshot obs));
       ]
   in

@@ -643,6 +643,49 @@ let diff_cmd =
           payload with its disassembly.")
     Term.(const run $ scenario_arg $ dir_arg)
 
+(* inject command (lib/inject): campaign runner with the no-fault oracle *)
+
+let inject_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"N" ~doc:"Base injector seed for the campaign.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:"Run $(docv) consecutive seeds starting at $(b,--seed).")
+  in
+  let run metrics trace chrome seed seeds jobs =
+    if seeds < 1 then begin
+      Fmt.epr "simctl: --seeds must be at least 1@.";
+      exit 1
+    end;
+    let obs = make_obs ~metrics ~trace ~chrome in
+    let plans =
+      List.concat_map (fun i -> Inject.default_plans ~seed:(seed + i) ())
+        (List.init seeds Fun.id)
+    in
+    let verdicts = Inject.campaign ~obs ?jobs plans in
+    print_string (Inject.summary_string verdicts);
+    finish_obs obs ~metrics ~trace ~chrome;
+    if Inject.escaped verdicts <> [] then begin
+      Fmt.epr "simctl: campaign has escaped faults@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Run the deterministic fault-injection campaign: every plan is paired \
+          with a fault-free twin and compared bit-for-bit; exits non-zero if any \
+          fault escapes (diverges without detection). The summary is identical \
+          for every seed set at any $(b,-j).")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ chrome_arg $ seed_arg $ seeds_arg
+      $ jobs_arg)
+
 let main =
   Cmd.group
     (Cmd.info "simctl" ~version:"1.0.0"
@@ -658,6 +701,7 @@ let main =
       restore_cmd;
       replay_cmd;
       diff_cmd;
+      inject_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -11,6 +11,31 @@ let mechanism_name = function
 
 type itlb_load = Single_step | Ret_gadget
 
+(* Desync audit (the lib/inject TLB guard routes here): is a cached TLB
+   entry one this defense could legitimately have loaded for this PTE?
+   Split pages are *deliberately* desynced — the cached user bit disagrees
+   with the (supervisor-restricted) PTE by design — so the invariants are:
+   frame routing (fetches hit the code copy, data accesses the data copy),
+   user always true (every split fill happens through an unrestricted PTE
+   or a forced user=1 load), and writable/nx mirroring the PTE (Algorithm
+   1's window never varies them). Non-split pages have no such window: a
+   surviving entry must mirror the live PTE exactly (every legitimate PTE
+   change invlpgs or flushes). *)
+let entry_consistent ~access (pte : Kernel.Pte.t option) (e : Hw.Tlb.entry) =
+  match pte with
+  | None -> false (* phantom: no mapping behind the cached translation *)
+  | Some pte ->
+    if Kernel.Pte.is_split pte then
+      let want =
+        match access with
+        | Hw.Mmu.Fetch -> Kernel.Pte.code_frame pte
+        | Hw.Mmu.Read | Hw.Mmu.Write -> Kernel.Pte.data_frame pte
+      in
+      e.frame = want && e.user && e.writable = pte.writable && e.nx = pte.nx
+    else
+      pte.present && e.frame = pte.frame && e.user = pte.user
+      && e.writable = pte.writable && e.nx = pte.nx
+
 let protection ?(policy = Policy.All_pages) ?(response = Response.Break) ?(nx = false)
     ?(mechanism = Tlb_desync) ?(itlb_load = Single_step) () : Kernel.Protection.t =
   let page_size ctx = Hw.Phys.page_size ctx.Kernel.Protection.phys in

@@ -32,6 +32,15 @@ type mechanism =
 
 val mechanism_name : mechanism -> string
 
+val entry_consistent :
+  access:Hw.Mmu.access -> Kernel.Pte.t option -> Hw.Tlb.entry -> bool
+(** Defense-side desync audit, consumed by lib/inject's TLB guard: could
+    this defense legitimately have loaded [entry] for the given live PTE
+    (None = the vpn is unmapped)? Split pages are deliberately desynced, so
+    only frame routing is enforced (fetch → code copy, data → data copy);
+    non-split pages must mirror the PTE exactly. [false] means the entry is
+    corrupted or stale and must be dropped and refilled. *)
+
 type itlb_load =
   | Single_step  (** Algorithm 2: trap flag + debug interrupt (the shipped method) *)
   | Ret_gadget

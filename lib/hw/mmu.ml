@@ -57,6 +57,13 @@ type t = {
   mutable icache : Cache.t option;
   mutable dcache : Cache.t option;
   mutable obs : Obs.t;
+  (* fault-injection hooks (lib/inject): [tlb_guard] is consulted on every
+     TLB hit — returning [false] rejects the cached entry as corrupted, the
+     MMU drops it and retranslates from the live pagetable (the kernel-side
+     desync detector). [invlpg_hook] returning [true] swallows an [invlpg]
+     — the "missed invalidation" fault the phantom-entry class models. *)
+  mutable tlb_guard : (access -> Tlb.entry -> bool) option;
+  mutable invlpg_hook : (int -> bool) option;
   (* pending-fault registers: like x86's CR2, the details of the last fault
      live in mutable registers instead of an allocated record, so the fast
      path faults without touching the minor heap. [pending_fault]
@@ -82,6 +89,8 @@ let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ~phys ~cost () =
     icache = None;
     dcache = None;
     obs = Obs.null;
+    tlb_guard = None;
+    invlpg_hook = None;
     pend_addr = 0;
     pend_access = Read;
     pend_kind = Not_present;
@@ -158,9 +167,15 @@ let reload_cr3_dual t ~code ~data =
   t.walk_code <- Some code;
   flush_tlbs t
 
+let set_tlb_guard t g = t.tlb_guard <- g
+let set_invlpg_hook t h = t.invlpg_hook <- h
+
 let invlpg t vpn =
-  Tlb.invalidate t.itlb vpn;
-  Tlb.invalidate t.dtlb vpn
+  match t.invlpg_hook with
+  | Some h when h vpn -> () (* injected: the invalidation is lost *)
+  | _ ->
+    Tlb.invalidate t.itlb vpn;
+    Tlb.invalidate t.dtlb vpn
 
 let mask32 = Isa.Encode.mask32
 
@@ -199,16 +214,25 @@ let pending_fault t =
    the x86 order (user, then write, then nx) and are performed against the
    cached TLB entry on a hit and against the PTE on a miss; a violating
    miss does not fill the TLB. *)
-let translate_result t ~from_user access vaddr =
+let rec translate_result t ~from_user access vaddr =
   let vaddr = mask32 vaddr in
   let page_size = Phys.page_size t.phys in
   let vpn = vaddr / page_size in
   let tlb = match access with Fetch -> t.itlb | Read | Write -> t.dtlb in
   match Tlb.find tlb vpn with
   | (e : Tlb.entry) ->
-    if (from_user && not e.user)
-       || (access = Write && not e.writable)
-       || (access = Fetch && t.nx_enabled && e.nx)
+    if match t.tlb_guard with None -> false | Some g -> not (g access e) then begin
+      (* the guard rejected the cached entry as corrupted: drop it and
+         retranslate — the retry misses and refills (or faults) from the
+         live pagetable. No closure, no box: the fast path stays
+         allocation-free when no guard is installed. *)
+      Tlb.invalidate tlb vpn;
+      translate_result t ~from_user access vaddr
+    end
+    else if
+      (from_user && not e.user)
+      || (access = Write && not e.writable)
+      || (access = Fetch && t.nx_enabled && e.nx)
     then record_fault t ~addr:vaddr ~access ~kind:Protection ~from_user
     else (e.frame * page_size) + (vaddr mod page_size)
   | exception Not_found -> (

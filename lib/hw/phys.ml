@@ -1,8 +1,24 @@
-type t = { page_size : int; frames : Bytes.t array }
+(* Optional ECC model (lib/inject): a shadow copy of every frame plays the
+   role of the SECDED check bits. Writes update both copies; reads compare
+   against the shadow and correct-on-read (bumping [corrections] and firing
+   [hook]), so a single injected bit flip behaves like a correctable DRAM
+   error: invisible to the program, visible to the machine. [flip_bit] is
+   the only writer that bypasses the shadow. *)
+type ecc = {
+  shadow : Bytes.t array;
+  mutable corrections : int;
+  mutable hook : (int -> unit) option;
+}
+
+type t = { page_size : int; frames : Bytes.t array; mutable ecc : ecc option }
 
 let create ?(page_size = 4096) ~frames () =
   if frames <= 0 then invalid_arg "Phys.create: frames must be positive";
-  { page_size; frames = Array.init frames (fun _ -> Bytes.make page_size '\000') }
+  {
+    page_size;
+    frames = Array.init frames (fun _ -> Bytes.make page_size '\000');
+    ecc = None;
+  }
 
 let page_size t = t.page_size
 let frame_count t = Array.length t.frames
@@ -13,16 +29,36 @@ let check t frame off len =
   if off < 0 || off + len > t.page_size then
     invalid_arg (Fmt.str "Phys: offset %d+%d out of page" off len)
 
+(* Correct-on-read: repair any primary/shadow mismatch in [off, off+len)
+   from the shadow before the caller reads the primary bytes. *)
+let scrub t frame off len =
+  match t.ecc with
+  | None -> ()
+  | Some e ->
+    let p = t.frames.(frame) and s = e.shadow.(frame) in
+    for i = off to off + len - 1 do
+      let good = Bytes.unsafe_get s i in
+      if Bytes.unsafe_get p i <> good then begin
+        Bytes.unsafe_set p i good;
+        e.corrections <- e.corrections + 1;
+        match e.hook with None -> () | Some h -> h ((frame * t.page_size) + i)
+      end
+    done
+
 let read8 t ~frame ~off =
   check t frame off 1;
+  scrub t frame off 1;
   Char.code (Bytes.get t.frames.(frame) off)
 
 let write8 t ~frame ~off v =
   check t frame off 1;
-  Bytes.set t.frames.(frame) off (Char.chr (v land 0xFF))
+  let c = Char.chr (v land 0xFF) in
+  Bytes.set t.frames.(frame) off c;
+  match t.ecc with None -> () | Some e -> Bytes.set e.shadow.(frame) off c
 
 let read32 t ~frame ~off =
   check t frame off 4;
+  scrub t frame off 4;
   let b i = Char.code (Bytes.get t.frames.(frame) (off + i)) in
   b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
 
@@ -32,15 +68,24 @@ let write32 t ~frame ~off v =
   set 0 v;
   set 1 (v lsr 8);
   set 2 (v lsr 16);
-  set 3 (v lsr 24)
+  set 3 (v lsr 24);
+  match t.ecc with
+  | None -> ()
+  | Some e -> Bytes.blit t.frames.(frame) off e.shadow.(frame) off 4
 
 let fill t ~frame byte =
   check t frame 0 t.page_size;
-  Bytes.fill t.frames.(frame) 0 t.page_size (Char.chr (byte land 0xFF))
+  Bytes.fill t.frames.(frame) 0 t.page_size (Char.chr (byte land 0xFF));
+  match t.ecc with
+  | None -> ()
+  | Some e -> Bytes.fill e.shadow.(frame) 0 t.page_size (Char.chr (byte land 0xFF))
 
 let blit_from_string t ~frame ~off s =
   check t frame off (String.length s);
-  Bytes.blit_string s 0 t.frames.(frame) off (String.length s)
+  Bytes.blit_string s 0 t.frames.(frame) off (String.length s);
+  match t.ecc with
+  | None -> ()
+  | Some e -> Bytes.blit_string s 0 e.shadow.(frame) off (String.length s)
 
 let to_string t ~frame =
   check t frame 0 t.page_size;
@@ -65,12 +110,45 @@ let blit_to_bytes t ~frame dst =
 let blit_from_bytes t ~frame src ~len =
   check t frame 0 len;
   if len > Bytes.length src then invalid_arg "Phys.blit_from_bytes: len > src";
-  Bytes.blit src 0 t.frames.(frame) 0 len
+  Bytes.blit src 0 t.frames.(frame) 0 len;
+  match t.ecc with None -> () | Some e -> Bytes.blit src 0 e.shadow.(frame) 0 len
 
+(* The shadow copies the shadow, not the primary: a frame copied while it
+   carries an uncorrected flip carries the pending correction along with it
+   (the raw codeword was copied, error and all). *)
 let copy_frame t ~src ~dst =
   check t src 0 t.page_size;
   check t dst 0 t.page_size;
-  Bytes.blit t.frames.(src) 0 t.frames.(dst) 0 t.page_size
+  Bytes.blit t.frames.(src) 0 t.frames.(dst) 0 t.page_size;
+  match t.ecc with
+  | None -> ()
+  | Some e -> Bytes.blit e.shadow.(src) 0 e.shadow.(dst) 0 t.page_size
+
+let enable_ecc t =
+  t.ecc <-
+    Some { shadow = Array.map Bytes.copy t.frames; corrections = 0; hook = None }
+
+let disable_ecc t = t.ecc <- None
+let ecc_enabled t = t.ecc <> None
+
+let set_ecc_hook t hook =
+  match t.ecc with
+  | None -> invalid_arg "Phys.set_ecc_hook: ECC not enabled"
+  | Some e -> e.hook <- hook
+
+let ecc_corrections t = match t.ecc with None -> 0 | Some e -> e.corrections
+
+let flip_bit t ~frame ~off ~bit =
+  check t frame off 1;
+  if bit < 0 || bit > 7 then invalid_arg "Phys.flip_bit: bit out of range";
+  let v = Char.code (Bytes.get t.frames.(frame) off) lxor (1 lsl bit) in
+  Bytes.set t.frames.(frame) off (Char.chr v)
+
+let ecc_shadow_write8 t ~frame ~off v =
+  check t frame off 1;
+  match t.ecc with
+  | None -> ()
+  | Some e -> Bytes.set e.shadow.(frame) off (Char.chr (v land 0xFF))
 
 let addr t ~frame ~off = (frame * t.page_size) + off
 let frame_of_addr t a = a / t.page_size

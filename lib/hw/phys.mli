@@ -37,6 +37,45 @@ val blit_to_bytes : t -> frame:int -> Bytes.t -> unit
 val blit_from_bytes : t -> frame:int -> Bytes.t -> len:int -> unit
 (** Overwrite the first [len] bytes of a frame from a caller-owned buffer. *)
 
+(** {2 ECC model}
+
+    Fault-injection support (lib/inject): when enabled, a shadow copy of
+    every frame stands in for SECDED check bits. All write paths update
+    primary and shadow together; all read paths ({!read8}, {!read32} and
+    their [_at] variants) compare the bytes about to be read against the
+    shadow and silently correct the primary on mismatch — the behaviour of
+    a correctable DRAM error. Raw exports ({!to_string}, {!blit_to_bytes},
+    {!is_zero_frame}) deliberately bypass the check so snapshots and
+    forensics see the flipped bytes as they sit in the array. Disabled by
+    default: the off path costs one field load per access and allocates
+    nothing. *)
+
+val enable_ecc : t -> unit
+(** Build the shadow from the current frame contents (current state becomes
+    ground truth) and start checking reads. *)
+
+val disable_ecc : t -> unit
+val ecc_enabled : t -> bool
+
+val set_ecc_hook : t -> (int -> unit) option -> unit
+(** Callback fired with the packed physical address of every corrected
+    byte, at the moment of correction. @raise Invalid_argument when ECC is
+    not enabled. *)
+
+val ecc_corrections : t -> int
+(** Total bytes corrected since {!enable_ecc} (0 when disabled). *)
+
+val flip_bit : t -> frame:int -> off:int -> bit:int -> unit
+(** Flip one bit of the primary copy {e without} updating the shadow — the
+    injected soft error. The next checked read of that byte detects and
+    corrects it. Works (as a plain silent flip) when ECC is disabled. *)
+
+val ecc_shadow_write8 : t -> frame:int -> off:int -> int -> unit
+(** Overwrite one shadow byte without touching the primary. Snapshot
+    restore uses this to re-mark still-pending injected flips after
+    {!enable_ecc} rebuilt the shadow from already-flipped frames; no-op
+    when ECC is disabled. *)
+
 val addr : t -> frame:int -> off:int -> int
 val frame_of_addr : t -> int -> int
 val off_of_addr : t -> int -> int

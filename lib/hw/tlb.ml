@@ -71,6 +71,21 @@ let insert t (e : entry) =
   Hashtbl.replace t.table e.vpn e;
   if fresh then Queue.add e.vpn t.fifo
 
+(* Fault-injection surface (lib/inject): enumerate and mutate live entries
+   without touching statistics or the FIFO replacement queue — a tampered
+   entry must age exactly like the original would have. *)
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> compare a.vpn b.vpn)
+
+let tamper t vpn f =
+  match Hashtbl.find_opt t.table vpn with
+  | None -> false
+  | Some e ->
+    let e' = f e in
+    Hashtbl.replace t.table vpn { e' with vpn };
+    true
+
 let invalidate t vpn =
   if Hashtbl.mem t.table vpn then begin
     Hashtbl.remove t.table vpn;

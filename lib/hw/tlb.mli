@@ -38,6 +38,17 @@ val peek : t -> int -> entry option
 val insert : t -> entry -> unit
 (** Insert (replacing any entry for the same vpn); evicts FIFO when full. *)
 
+val entries : t -> entry list
+(** Live entries sorted by vpn, without touching statistics — the
+    fault-injection target list. *)
+
+val tamper : t -> int -> (entry -> entry) -> bool
+(** [tamper t vpn f] replaces the entry for [vpn] with [f entry] in place
+    (the vpn itself cannot be changed), bypassing statistics and the FIFO
+    queue. Returns [false] if no entry is cached for [vpn]. This is the
+    fault-injection surface: it models a bit flip inside a TLB cell, not an
+    architectural insert. *)
+
 val invalidate : t -> int -> unit
 (** [invlpg]: drop the entry for one vpn, if present. *)
 

@@ -1,0 +1,58 @@
+(** The deterministic fault-injection engine: arms a plan onto one live
+    machine through the explicit hardware/kernel hook points, fires faults
+    at scheduler boundaries, and wires up the graceful-degradation
+    detectors (TLB-guard desync audit, ECC correct-on-read, OOM
+    containment, syscall restart).
+
+    Everything is per-machine state — no globals — so fleets of armed
+    machines run concurrently on separate domains. An armed engine whose
+    plan never fires (zero budget, unreachable trigger) leaves the run
+    bit-identical to an unarmed one: that invariant is the foundation of
+    the differential oracle and is property-tested. *)
+
+type injected = {
+  i_class : Plan.fault_class;
+  i_cycle : int;  (** cycle counter at injection *)
+  i_pid : int;  (** pid last running when the fault landed *)
+  i_detail : string;  (** human-readable target description *)
+}
+
+type t
+
+val arm : Kernel.Os.t -> Plan.t -> t
+(** Install the engine on a machine: enables the physical-memory ECC
+    shadow, the MMU TLB guard and invlpg hook, the scheduler-boundary
+    inject hook and the syscall squeeze. Arm before running the guest. *)
+
+val disarm : t -> unit
+(** Remove every hook installed by {!arm} (including the ECC shadow). *)
+
+val plan : t -> Plan.t
+val injected_count : t -> int
+val injected : t -> injected list
+(** Oldest first. *)
+
+val detections : t -> int
+(** Detector firings (TLB-guard resyncs + ECC corrections) so far. *)
+
+val pending_flips : t -> int
+(** Injected frame flips not yet read (hence not yet corrected). *)
+
+val fire : t -> unit
+(** The scheduler-boundary callback ({!arm} installs it; exposed for
+    tests). *)
+
+val export : t -> string
+(** Serialize the injector's volatile state — PRNG cursor, budget spent,
+    next fire cycle, pending squeezes/suppressions/denials/flips, the
+    injection journal — for snapshot metadata. The machine-side effects of
+    past faults are in the snapshot itself. *)
+
+val import : t -> string -> unit
+(** Restore {!export}ed state into a freshly {!arm}ed engine, re-marking
+    still-pending frame flips in the rebuilt ECC shadow.
+    @raise Invalid_argument on malformed input. *)
+
+val rearm : Kernel.Os.t -> Plan.t -> string -> t
+(** [arm] + [import]: call after {!Snap.Snapshot.restore} on the restored
+    machine to resume an interrupted campaign run. *)

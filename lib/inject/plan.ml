@@ -1,0 +1,117 @@
+(* Declarative fault-injection plans: everything a campaign run needs to
+   reproduce a faulty machine bit-for-bit — scenario, seed, fault classes,
+   trigger window, budget — in one serializable value. *)
+
+type fault_class =
+  | Tlb_wrong_pfn
+  | Tlb_wrong_perms
+  | Tlb_phantom
+  | Pte_flip
+  | Frame_flip_code
+  | Frame_flip_data
+  | Alloc_exhaustion
+  | Syscall_transient
+
+let all_classes =
+  [
+    Tlb_wrong_pfn;
+    Tlb_wrong_perms;
+    Tlb_phantom;
+    Pte_flip;
+    Frame_flip_code;
+    Frame_flip_data;
+    Alloc_exhaustion;
+    Syscall_transient;
+  ]
+
+let class_name = function
+  | Tlb_wrong_pfn -> "tlb-wrong-pfn"
+  | Tlb_wrong_perms -> "tlb-wrong-perms"
+  | Tlb_phantom -> "tlb-phantom"
+  | Pte_flip -> "pte-flip"
+  | Frame_flip_code -> "frame-flip-code"
+  | Frame_flip_data -> "frame-flip-data"
+  | Alloc_exhaustion -> "alloc-exhaustion"
+  | Syscall_transient -> "syscall-transient"
+
+let class_of_name s = List.find_opt (fun c -> class_name c = s) all_classes
+
+type trigger = { at_cycle : int; every : int; pid : int option; vpn : int option }
+
+type t = {
+  label : string;
+  scenario : string;
+  seed : int;
+  classes : fault_class list;
+  trigger : trigger;
+  budget : int;
+  fuel : int;
+}
+
+let classes_string classes = String.concat "," (List.map class_name classes)
+
+(* Defaults sized to the canonical scenarios (a few thousand cycles end to
+   end): first fire around cycle 2000, then every 600 cycles of scheduler
+   boundaries until the budget is spent. *)
+let make ?label ?(scenario = "benign") ?(seed = 7) ?(classes = all_classes)
+    ?(at_cycle = 2_000) ?(every = 600) ?pid ?vpn ?(budget = 4) ?(fuel = 1_000_000) () =
+  if budget < 0 then invalid_arg "Plan.make: negative budget";
+  if classes = [] then invalid_arg "Plan.make: empty class list";
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+      Fmt.str "%s@%s"
+        (match classes with [ c ] -> class_name c | _ -> "mixed")
+        scenario
+  in
+  { label; scenario; seed; classes; trigger = { at_cycle; every; pid; vpn }; budget; fuel }
+
+(* key=value serialization for snapshot metadata. Labels and scenario names
+   must not contain ';' (they never do: ours are short slugs). *)
+let to_string p =
+  Fmt.str "label=%s;scenario=%s;seed=%d;classes=%s;at_cycle=%d;every=%d;pid=%d;vpn=%d;budget=%d;fuel=%d"
+    p.label p.scenario p.seed (classes_string p.classes) p.trigger.at_cycle
+    p.trigger.every
+    (Option.value p.trigger.pid ~default:(-1))
+    (Option.value p.trigger.vpn ~default:(-1))
+    p.budget p.fuel
+
+let of_string s =
+  let corrupt msg = invalid_arg ("Plan.of_string: " ^ msg) in
+  let fields =
+    List.filter_map
+      (fun kv ->
+        if kv = "" then None
+        else
+          match String.index_opt kv '=' with
+          | None -> corrupt ("malformed field " ^ kv)
+          | Some i ->
+            Some (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1)))
+      (String.split_on_char ';' s)
+  in
+  let get k =
+    match List.assoc_opt k fields with Some v -> v | None -> corrupt ("missing " ^ k)
+  in
+  let int k = match int_of_string_opt (get k) with
+    | Some v -> v
+    | None -> corrupt ("bad integer for " ^ k)
+  in
+  let opt k = match int k with -1 -> None | v -> Some v in
+  let classes =
+    List.map
+      (fun n ->
+        match class_of_name n with
+        | Some c -> c
+        | None -> corrupt ("unknown fault class " ^ n))
+      (String.split_on_char ',' (get "classes"))
+  in
+  {
+    label = get "label";
+    scenario = get "scenario";
+    seed = int "seed";
+    classes;
+    trigger = { at_cycle = int "at_cycle"; every = int "every"; pid = opt "pid"; vpn = opt "vpn" };
+    budget = int "budget";
+    fuel = int "fuel";
+  }

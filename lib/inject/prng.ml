@@ -1,0 +1,29 @@
+(* splitmix64: the injector's private PRNG. Deliberately not
+   [Stdlib.Random]: one int64 of state makes the cursor trivially
+   serializable into snapshot metadata, the sequence is stable across OCaml
+   versions (verdicts are golden-tested), and it cannot collide with the
+   kernel's own PRNG. *)
+
+type t = { mutable s : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let make seed = { s = Int64.mul (Int64.of_int (seed + 1)) gamma }
+
+let next t =
+  t.s <- Int64.add t.s gamma;
+  let z = t.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let state t = Int64.to_string t.s
+
+let set_state t s =
+  match Int64.of_string_opt s with
+  | Some v -> t.s <- v
+  | None -> invalid_arg "Prng.set_state: not an int64"

@@ -1,0 +1,17 @@
+(** The injector's private deterministic PRNG (splitmix64).
+
+    Separate from the kernel's [Random.State] so arming an injector never
+    perturbs machine behaviour, and serializable as a single int64 so an
+    interrupted campaign resumes mid-sequence. *)
+
+type t
+
+val make : int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). *)
+
+val state : t -> string
+(** The cursor, as decimal text (snapshot metadata). *)
+
+val set_state : t -> string -> unit

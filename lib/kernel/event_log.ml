@@ -9,6 +9,7 @@ type event =
   | Syscall_traced of { pid : int; name : string; info : string }
   | Process_exited of { pid : int; status : string }
   | Library_rejected of { name : string }
+  | Fault_detected of { pid : int; kind : string; action : string }
   | Note of string
 
 let pp_event ppf = function
@@ -30,6 +31,8 @@ let pp_event ppf = function
   | Syscall_traced { pid; name; info } -> Fmt.pf ppf "[sebek pid %d] %s %s" pid name info
   | Process_exited { pid; status } -> Fmt.pf ppf "[pid %d] exited: %s" pid status
   | Library_rejected { name } -> Fmt.pf ppf "library %S rejected: bad signature" name
+  | Fault_detected { pid; kind; action } ->
+    Fmt.pf ppf "[pid %d] hardware fault detected: kind=%s action=%s" pid kind action
   | Note s -> Fmt.string ppf s
 
 let tag = function
@@ -43,6 +46,7 @@ let tag = function
   | Syscall_traced _ -> "syscall_traced"
   | Process_exited _ -> "process_exited"
   | Library_rejected _ -> "library_rejected"
+  | Fault_detected _ -> "fault_detected"
   | Note _ -> "note"
 
 type t = {

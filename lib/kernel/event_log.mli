@@ -15,6 +15,10 @@ type event =
   | Syscall_traced of { pid : int; name : string; info : string }
   | Process_exited of { pid : int; status : string }
   | Library_rejected of { name : string }
+  | Fault_detected of { pid : int; kind : string; action : string }
+      (** graceful degradation fired on an injected hardware/kernel fault:
+          [kind] names the detector ("tlb-desync", "ecc", "oom"), [action]
+          what the kernel did about it ("resync", "corrected", "kill") *)
   | Note of string
 
 val pp_event : Format.formatter -> event -> unit

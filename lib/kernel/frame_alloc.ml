@@ -6,6 +6,11 @@ type t = {
   refcount : int array;
   mutable in_use : int;
   mutable peak_in_use : int;
+  (* fault injection (lib/inject): pending count of allocations to fail
+     with Out_of_frames regardless of actual free frames. Deliberately not
+     part of [state]: it is injector state, not machine state, and rides in
+     snapshot metadata instead. *)
+  mutable deny_next : int;
 }
 
 let create phys =
@@ -15,12 +20,22 @@ let create phys =
   for frame = n - 1 downto 1 do
     Stack.push frame free
   done;
-  { phys; free; refcount = Array.make n 0; in_use = 0; peak_in_use = 0 }
+  { phys; free; refcount = Array.make n 0; in_use = 0; peak_in_use = 0; deny_next = 0 }
 
 let in_use t = t.in_use
 let peak_in_use t = t.peak_in_use
+let set_deny_next t n = t.deny_next <- max 0 n
+let deny_next t = t.deny_next
+
+let denied t =
+  t.deny_next > 0
+  && begin
+       t.deny_next <- t.deny_next - 1;
+       true
+     end
 
 let alloc t =
+  if denied t then raise Out_of_frames;
   match Stack.pop_opt t.free with
   | None -> raise Out_of_frames
   | Some frame ->
@@ -75,6 +90,7 @@ let import t (s : state) =
    arithmetic (even frame = code copy, +1 = data copy). Pairs come from a
    dedicated free list plus a search of the general free list. *)
 let alloc_pair t =
+  if denied t then raise Out_of_frames;
   let pending = ref [] in
   let rec hunt () =
     match Stack.pop_opt t.free with

@@ -23,6 +23,15 @@ val in_use : t -> int
 val peak_in_use : t -> int
 val free_frames : t -> int
 
+val set_deny_next : t -> int -> unit
+(** Fault injection: make the next [n] calls to {!alloc}/{!alloc_pair}
+    raise {!Out_of_frames} regardless of actual free frames (transient
+    allocator exhaustion). Not part of {!state} — this is injector state
+    and is persisted in snapshot metadata by [lib/inject]. *)
+
+val deny_next : t -> int
+(** Remaining injected denials. *)
+
 type state = {
   s_free : int list;  (** free stack, top first — preserves allocation order *)
   s_refcount : int array;

@@ -65,6 +65,15 @@ type t = {
   scratch : Bytes.t;  (* page-sized staging buffer for demand paging *)
   mutable sched_hook : (unit -> unit) option;
   mutable syscall_tracer : (syscall_trace -> unit) option;
+  (* fault-injection hooks (lib/inject): [inject_hook] fires at every
+     scheduler-loop boundary right after [sched_hook] — the quiescent
+     points where injecting is race-free. [syscall_squeeze] is consulted
+     before each syscall dispatches; returning [true] makes the kernel
+     restart the syscall instead (a transient internal error, ERESTART
+     style). Per-machine fields, so fleets of machines inject
+     independently. *)
+  mutable inject_hook : (unit -> unit) option;
+  mutable syscall_squeeze : (Proc.t -> int -> bool) option;
 }
 
 (* Import the point-in-time hardware statistics as gauges, so a metrics
@@ -165,6 +174,8 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     scratch = Bytes.create page_size;
     sched_hook = None;
     syscall_tracer = None;
+    inject_hook = None;
+    syscall_squeeze = None;
   }
 
 let ctx t : Protection.ctx =
@@ -334,6 +345,14 @@ let kill t (p : Proc.t) signal =
   Hw.Cost.charge t.cost t.cost.params.fault_delivery;
   Event_log.add t.log (Signal_delivered { pid = p.pid; signal = Proc.signal_name signal });
   terminate t p (Proc.Killed signal)
+
+(* Graceful degradation for allocator exhaustion reaching a trap or syscall
+   boundary: contain the failure by OOM-killing the faulting process (and
+   saying so in the log) instead of crashing the whole machine. *)
+let oom_kill t (p : Proc.t) =
+  Event_log.add t.log (Fault_detected { pid = p.pid; kind = "oom"; action = "kill" });
+  if Obs.enabled t.obs then Obs.count t.obs "inject.oom_kills";
+  kill t p Proc.Sigkill
 
 (* ------------------------------------------------------------------ *)
 (* Loader                                                              *)

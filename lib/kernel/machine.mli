@@ -70,6 +70,12 @@ type t = {
   scratch : Bytes.t;
   mutable sched_hook : (unit -> unit) option;
   mutable syscall_tracer : (syscall_trace -> unit) option;
+  mutable inject_hook : (unit -> unit) option;
+      (** fault-injection callback fired at every scheduler-loop boundary,
+          right after [sched_hook] (lib/inject) *)
+  mutable syscall_squeeze : (Proc.t -> int -> bool) option;
+      (** consulted before each syscall dispatch; [true] = fail this
+          dispatch transiently and restart the syscall (lib/inject) *)
 }
 
 val create :
@@ -112,6 +118,12 @@ val read_cstring : t -> Proc.t -> int -> max:int -> string
 
 val terminate : t -> Proc.t -> Proc.exit_status -> unit
 val kill : t -> Proc.t -> Proc.signal -> unit
+
+val oom_kill : t -> Proc.t -> unit
+(** Allocator exhaustion containment: log a [Fault_detected] (kind ["oom"])
+    and SIGKILL the process — graceful degradation instead of a machine
+    crash when {!Frame_alloc.Out_of_frames} reaches a trap or syscall
+    boundary. *)
 
 val spawn : t -> ?eager:bool -> ?protected:bool -> ?name:string -> Image.t -> Proc.t
 

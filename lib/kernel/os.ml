@@ -86,3 +86,10 @@ let replace_procs = Machine.replace_procs
 (* ------------------------------------------------------------------ *)
 
 let set_syscall_tracer (t : t) tracer = t.Machine.syscall_tracer <- tracer
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let set_inject_hook (t : t) hook = t.Machine.inject_hook <- hook
+let set_syscall_squeeze (t : t) squeeze = t.Machine.syscall_squeeze <- squeeze

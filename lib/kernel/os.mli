@@ -159,3 +159,14 @@ val set_syscall_tracer : t -> (Machine.syscall_trace -> unit) option -> unit
 (** Install (or clear) the per-syscall tracer consulted by
     {!Syscalls.dispatch} — one {!Machine.syscall_trace} record per
     dispatched syscall. simctl's [--strace] is built on this. *)
+
+val set_inject_hook : t -> (unit -> unit) option -> unit
+(** Install the fault-injection callback fired at every scheduler-loop
+    boundary, right after the sched hook (so a periodic checkpoint samples
+    the pre-fault state). lib/inject's engine hangs off this. *)
+
+val set_syscall_squeeze : t -> (Proc.t -> int -> bool) option -> unit
+(** Install the transient-syscall-fault predicate: consulted with (process,
+    syscall number) before each dispatch; returning [true] suppresses the
+    dispatch and rewinds the guest so the syscall restarts (ERESTART
+    discipline). *)

@@ -94,6 +94,9 @@ let run ?(fuel = 50_000_000) ?table (m : M.t) =
        state here (no quantum in flight), which is exactly where periodic
        checkpointing must sample it *)
     (match m.sched_hook with Some f -> f () | None -> ());
+    (* fault injection fires at the same quiescent points, after any
+       checkpointing hook has sampled the pre-fault state *)
+    (match m.inject_hook with Some f -> f () | None -> ());
     if !fuel <= 0 then Fuel_exhausted
     else
       match dequeue_runnable m with

@@ -260,7 +260,7 @@ let dispatch t (m : M.t) (p : Proc.t) n =
        pointer (EFAULT) and physical-memory exhaustion (OOM-kill) *)
     try run_handler t m p n with
     | M.Efault -> ret p (-14)
-    | Frame_alloc.Out_of_frames -> M.kill m p Proc.Sigkill
+    | Frame_alloc.Out_of_frames -> M.oom_kill m p
   in
   match m.syscall_tracer with
   | None -> go ()

@@ -113,7 +113,13 @@ let serve ?table (m : M.t) (p : Proc.t) trap =
     let since = m.cost.cycles in
     Hw.Cost.charge_insn m.cost;
     Hw.Cost.charge_syscall m.cost;
-    Syscalls.dispatch table m p n;
+    (match m.syscall_squeeze with
+    | Some squeeze when squeeze p n ->
+      (* injected transient kernel failure: restart the syscall
+         transparently (the ERESTARTNOINTR discipline) by rewinding the
+         guest over its [int 0x80] — the retry re-dispatches *)
+      p.regs.eip <- Isa.Encode.mask32 (p.regs.eip - 2)
+    | _ -> Syscalls.dispatch table m p n);
     (match m.hot with
     | None -> ()
     | Some h ->
@@ -127,7 +133,9 @@ let serve ?table (m : M.t) (p : Proc.t) trap =
     (* software TLB-miss traps are lightweight (their cost is charged by
        the fill itself); everything else is a full kernel trap *)
     if f.kind <> Hw.Mmu.Tlb_miss then Hw.Cost.charge_trap m.cost;
-    handle_page_fault m p f;
+    (* allocator exhaustion (real or injected) during fault service is
+       contained by OOM-killing the faulting process *)
+    (try handle_page_fault m p f with Frame_alloc.Out_of_frames -> M.oom_kill m p);
     (match m.hot with
     | None -> ()
     | Some h ->

@@ -547,6 +547,11 @@ let event_w b (e : Kernel.Event_log.event) =
   | Note s ->
     u8 b 10;
     str b s
+  | Fault_detected { pid; kind; action } ->
+    u8 b 11;
+    int b pid;
+    str b kind;
+    str b action
 
 let event_r r : Kernel.Event_log.event =
   let open Codec.R in
@@ -593,6 +598,11 @@ let event_r r : Kernel.Event_log.event =
     Process_exited { pid; status }
   | 9 -> Library_rejected { name = str r }
   | 10 -> Note (str r)
+  | 11 ->
+    let pid = int r in
+    let kind = str r in
+    let action = str r in
+    Fault_detected { pid; kind; action }
   | n -> raise (Codec.Corrupt (Fmt.str "bad event tag %d" n))
 
 let pair fa fb b (x, y) =

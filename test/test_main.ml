@@ -25,4 +25,5 @@ let () =
       ("obs", Test_obs.suite);
       ("snap", Test_snap.suite);
       ("trap", Test_trap.suite);
+      ("inject", Test_inject.suite);
     ]

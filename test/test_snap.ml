@@ -315,6 +315,56 @@ let test_obs_metrics () =
       Alcotest.(check bool) (n ^ " registered") true (List.mem n histo_names))
     [ "snap.checkpoint_us"; "snap.restore_us" ]
 
+(* --- Injector state (lib/inject) ------------------------------------------ *)
+
+(* An interrupted campaign run resumes to the same verdict: checkpoint a
+   machine mid-plan (the plan and the engine's volatile state — PRNG
+   cursor, budget spent, pending faults — ride in snapshot metadata),
+   restore into a fresh machine, rearm, finish. Event log, cost counters
+   and the engine's full exported state must match the uninterrupted
+   reference run bit-for-bit. *)
+let test_inject_rearm () =
+  let s = scenario "benign" in
+  let plan =
+    Inject.Plan.make ~scenario:"benign" ~seed:7 ~at_cycle:500 ~every:400 ~budget:6 ()
+  in
+  (* the reference: interrupted at the same point, then simply continued —
+     the replay-gate comparison (an uninterrupted run would place its
+     scheduler boundaries, and hence injections, at different cycles) *)
+  let os1 = s.start () in
+  let eng1 = Inject.Engine.arm os1 plan in
+  ignore (Kernel.Os.run ~fuel:900 os1);
+  Alcotest.(check bool)
+    "checkpoint lands mid-plan" true
+    (Inject.Engine.injected_count eng1 > 0
+    && Inject.Engine.injected_count eng1 < plan.budget);
+  let snap = Inject.checkpoint os1 eng1 in
+  let mid_count = Inject.Engine.injected_count eng1 in
+  ignore (run_to_end os1);
+  Alcotest.(check bool)
+    "reference keeps injecting after the checkpoint" true
+    (Inject.Engine.injected_count eng1 > mid_count);
+  let os2 = s.start () in
+  Snap.Snapshot.restore os2 (Snap.Snapshot.decode (Snap.Snapshot.encode snap));
+  let eng2 = Inject.rearm os2 snap in
+  Alcotest.(check int) "journal restored" mid_count (Inject.Engine.injected_count eng2);
+  ignore (run_to_end os2);
+  Alcotest.(check (list string))
+    "event logs match" (snd (final_state os1)) (snd (final_state os2));
+  Alcotest.(check bool) "cost counters match" true
+    (fst (final_state os1) = fst (final_state os2));
+  Alcotest.(check string)
+    "engine state converges" (Inject.Engine.export eng1) (Inject.Engine.export eng2)
+
+let test_inject_rearm_requires_meta () =
+  let s = scenario "benign" in
+  let os = s.start () in
+  ignore (Kernel.Os.run ~fuel:900 os);
+  let snap = Snap.Snapshot.checkpoint os in
+  match Inject.rearm os snap with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rearm accepted a snapshot without injector state"
+
 let suite =
   [
     Alcotest.test_case "codec round trip" `Quick test_codec_roundtrip;
@@ -337,4 +387,7 @@ let suite =
     Alcotest.test_case "forensic artifacts on disk" `Quick test_forensic_artifacts;
     Alcotest.test_case "save/load with manifest" `Quick test_save_load;
     Alcotest.test_case "obs metrics" `Quick test_obs_metrics;
+    Alcotest.test_case "injector state round trip" `Quick test_inject_rearm;
+    Alcotest.test_case "rearm rejects plain snapshots" `Quick
+      test_inject_rearm_requires_meta;
   ]
