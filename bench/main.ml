@@ -519,6 +519,16 @@ let alloc_gate baseline_file =
     (alloc_numbers ());
   if !failures > 0 then exit 1
 
+(* --- profiler experiments (lib/prof) ------------------------------------- *)
+
+(* Profile-driven policy tables: the TLB capacity x eviction sweep and the
+   hot split-page ranking, both fanned over the fleet with submission-order
+   merging — the output is identical for every -j. *)
+let profile_exp () =
+  out "%s"
+    (Prof.Experiments.render_tlb_sweep (Prof.Experiments.tlb_sweep ~jobs:!jobs ()));
+  out "%s" (Prof.Experiments.hot_page_ranking ~jobs:!jobs ())
+
 (* --- machine-readable export (--json FILE) ------------------------------- *)
 
 (* Run the headline workloads under the stock and split kernels — fanned
@@ -533,6 +543,85 @@ let alloc_gate baseline_file =
    tally from lib/inject's differential no-fault oracle. Earlier
    consumers keep working: existing fields are unchanged, additions are
    additive. *)
+(* Current git revision, read straight from .git (no subprocess): HEAD is
+   either a hash or a "ref: ..." pointer into refs/ or packed-refs. *)
+let git_rev () =
+  let first_line path =
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+      let line = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      line
+  in
+  let packed_ref r =
+    match open_in ".git/packed-refs" with
+    | exception Sys_error _ -> None
+    | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line -> (
+          match String.split_on_char ' ' (String.trim line) with
+          | [ hash; name ] when name = r -> Some hash
+          | _ -> scan ())
+      in
+      let found = scan () in
+      close_in ic;
+      found
+  in
+  match first_line ".git/HEAD" with
+  | None -> "unknown"
+  | Some head ->
+    let head = String.trim head in
+    if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+      let r = String.trim (String.sub head 5 (String.length head - 5)) in
+      match first_line (".git/" ^ r) with
+      | Some rev -> String.trim rev
+      | None -> ( match packed_ref r with Some rev -> rev | None -> "unknown")
+    end
+    else head
+
+(* The trajectory file: every --json run also appends one compact record
+   here (git rev + per-benchmark wall-clock), so performance over the
+   repo's history accumulates as JSON-lines without any tooling. *)
+let trajectory_file = "BENCH_split-memory-bench.json"
+
+let append_trajectory results (stats : Fleet.stats) =
+  let module J = Obs.Json in
+  let module H = Workload.Harness in
+  let benchmarks =
+    List.mapi
+      (fun i r ->
+        let label, defense =
+          match r with
+          | Ok (res : H.result) -> (res.label, res.defense)
+          | Error (e : Fleet.error) -> (e.label, "error")
+        in
+        J.Obj
+          [
+            ("label", J.Str label);
+            ("defense", J.Str defense);
+            ("wall_us", J.Int stats.job_us.(i));
+          ])
+      results
+  in
+  let record =
+    J.Obj
+      [
+        ("schema", J.Str "split-memory-bench-trajectory/1");
+        ("rev", J.Str (git_rev ()));
+        ("jobs", J.Int !jobs);
+        ("fleet_wall_us", J.Int stats.wall_us);
+        ("benchmarks", J.List benchmarks);
+      ]
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 trajectory_file in
+  output_string oc (J.to_string record);
+  output_char oc '\n';
+  close_out oc;
+  out "appended run record to %s" trajectory_file
+
 let json_bench file =
   let module J = Obs.Json in
   let module F = Workload.Figures in
@@ -644,7 +733,8 @@ let json_bench file =
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  out "wrote %s" file
+  out "wrote %s" file;
+  append_trajectory results stats
 
 (* --- driver -------------------------------------------------------------- *)
 
@@ -689,6 +779,7 @@ let () =
     | "ablation" -> ablation ()
     | "limitations" -> limitations ()
     | "micro" -> micro ()
+    | "profile" -> profile_exp ()
     | "snap" -> snap_exp ()
     | "alloc" -> alloc ()
     | "calib" -> calib ()

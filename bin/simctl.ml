@@ -686,6 +686,177 @@ let inject_cmd =
       const run $ metrics_arg $ trace_arg $ chrome_arg $ seed_arg $ seeds_arg
       $ jobs_arg)
 
+(* profile command (lib/prof): address-sampling profiler over a workload *)
+
+(* The single-machine workloads only: the profiler instruments one
+   machine's MMU, so the fleet axis here is "one job per requested
+   workload", not unixbench's piece fan-out. *)
+let profile_workloads =
+  [
+    ("apache32k", `Apache 32768);
+    ("apache1k", `Apache 1024);
+    ("gzip", `Gzip);
+    ("nbench", `Nbench);
+    ("ctxsw", `Ctxsw);
+  ]
+
+let profile_spec ~defense = function
+  | `Apache size -> Workload.Figures.apache_spec ~defense ~size ~requests:25
+  | `Gzip -> Workload.Figures.gzip_spec ~defense ~size:(48 * 1024)
+  | `Nbench -> Workload.Harness.single ~defense (Workload.Guests.nbench ~iters:60 ())
+  | `Ctxsw -> Workload.Figures.ctxsw_spec ~defense ~iters:250
+
+let profile_workload_arg =
+  (* carry the name alongside the tag so the report header can use it *)
+  let wl = Arg.enum (List.map (fun (n, w) -> (n, (n, w))) profile_workloads) in
+  Arg.(
+    value & pos_all wl []
+    & info [] ~docv:"WORKLOAD"
+        ~doc:
+          "Workloads to profile (default: apache32k). Any of: apache32k, apache1k, \
+           gzip, nbench, ctxsw.")
+
+let rate_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "rate" ] ~docv:"N"
+        ~doc:"Sample every $(docv)-th successful address translation.")
+
+let section_flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+(* One rendered report per workload. Everything under the header is a
+   pure function of the sample stream, so the bytes are identical for
+   any -j and across a snapshot/replay boundary. *)
+let render_profile_report ~sections name prof =
+  let samples = Prof.samples prof in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Fmt.str "=== %s ===\n" name);
+  Buffer.add_string buf (Prof.Analysis.summary_line samples (Prof.sampler prof));
+  List.iter
+    (fun section ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (match section with
+        | `Heatmap -> Prof.Analysis.render_heatmap samples
+        | `Wset -> Prof.Analysis.render_working_set samples
+        | `Persist -> Prof.Analysis.render_persistence samples
+        | `Hot -> Prof.Analysis.render_hot samples
+        | `Csv -> Prof.Analysis.csv_heatmap samples))
+    sections;
+  Buffer.contents buf
+
+let profile_job ~defense ~rate ~sections (name, which) =
+  let spec = profile_spec ~defense which in
+  let prof = ref None in
+  let _result, _os =
+    Workload.Harness.run_k ~tune:(fun k -> prof := Some (Prof.attach ~rate k)) spec
+  in
+  render_profile_report ~sections name (Option.get !prof)
+
+(* Replay gate for the profiler: checkpoint the profiled run mid-flight
+   (sampler state rides in snapshot metadata), finish it, then restore
+   onto a fresh machine, rearm the profiler and finish again — the two
+   rendered reports must match byte-for-byte. *)
+let profile_replay_job ~defense ~rate ~fuel_to_checkpoint ~sections (name, which) =
+  let spec = profile_spec ~defense which in
+  let os = Workload.Harness.build spec in
+  let prof = Prof.attach ~rate os in
+  ignore (Kernel.Os.run ~fuel:fuel_to_checkpoint os : Kernel.Os.stop_reason);
+  let snap = Prof.checkpoint prof in
+  ignore (Kernel.Os.run ~fuel:spec.Workload.Harness.fuel os : Kernel.Os.stop_reason);
+  let reference = render_profile_report ~sections name prof in
+  let os' = Workload.Harness.build spec in
+  Snap.Snapshot.restore os' snap;
+  match Prof.rearm os' snap with
+  | None -> failwith "snapshot carries no profiler state"
+  | Some prof' ->
+    ignore (Kernel.Os.run ~fuel:spec.Workload.Harness.fuel os' : Kernel.Os.stop_reason);
+    let replayed = render_profile_report ~sections name prof' in
+    if not (String.equal reference replayed) then
+      failwith "replayed profile diverges from the reference run";
+    reference ^ "replay-check: ok\n"
+
+let profile_cmd =
+  let bench_flag =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Instead of per-workload reports, run the profile-driven policy \
+             experiments: the TLB capacity x eviction sweep and the hot split-page \
+             ranking.")
+  in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay-check" ]
+          ~doc:
+            "Checkpoint each profiled run mid-flight, restore it onto a fresh \
+             machine and finish both; exit non-zero unless the rendered reports \
+             match byte-for-byte.")
+  in
+  let run defense jobs rate heatmap wset persist hot csv bench replay fuel workloads =
+    if rate < 1 then begin
+      Fmt.epr "simctl: --rate must be at least 1@.";
+      exit 1
+    end;
+    if bench then begin
+      let rows = Prof.Experiments.tlb_sweep ?jobs ~rate ~defense () in
+      print_string (Prof.Experiments.render_tlb_sweep rows);
+      print_newline ();
+      print_string (Prof.Experiments.hot_page_ranking ?jobs ~rate ~defense ())
+    end
+    else begin
+      let sections =
+        let chosen =
+          List.filter_map
+            (fun (on, s) -> if on then Some s else None)
+            [
+              (heatmap, `Heatmap); (wset, `Wset); (persist, `Persist); (hot, `Hot);
+              (csv, `Csv);
+            ]
+        in
+        (* default view: heatmap + working set *)
+        if chosen = [] then [ `Heatmap; `Wset ] else chosen
+      in
+      let workloads =
+        if workloads = [] then [ ("apache32k", `Apache 32768) ] else workloads
+      in
+      let job =
+        if replay then
+          profile_replay_job ~defense ~rate ~fuel_to_checkpoint:fuel ~sections
+        else profile_job ~defense ~rate ~sections
+      in
+      let results = Fleet.map ?jobs ~label:fst job workloads in
+      let failed = ref false in
+      List.iter
+        (function
+          | Ok report -> print_string report
+          | Error (e : Fleet.error) ->
+            failed := true;
+            Fmt.epr "simctl: profile %s failed: %s@." e.label e.reason)
+        results;
+      if !failed then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Attach the address-sampling profiler to a workload's MMU and render \
+          working-set, persistence and heatmap reports from the sample stream. \
+          Output is byte-identical for any $(b,-j) and across snapshot replay.")
+    Term.(
+      const run $ defense_arg $ jobs_arg $ rate_arg
+      $ section_flag "heatmap" "Render the pid x vpn ASCII heatmap."
+      $ section_flag "wset" "Render the working-set curve (unique pages per window)."
+      $ section_flag "persist" "Render the page-persistence (residency) report."
+      $ section_flag "hot" "Render the hot-page ranking."
+      $ section_flag "csv" "Emit the heatmap as CSV."
+      $ bench_flag $ replay_arg
+      $ fuel_arg ~default:60_000
+          ~doc:"Instructions before the --replay-check checkpoint is taken."
+      $ profile_workload_arg)
+
 let main =
   Cmd.group
     (Cmd.info "simctl" ~version:"1.0.0"
@@ -702,6 +873,7 @@ let main =
       replay_cmd;
       diff_cmd;
       inject_cmd;
+      profile_cmd;
     ]
 
 let () = exit (Cmd.eval main)

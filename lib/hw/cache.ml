@@ -61,9 +61,11 @@ let flush t =
   Array.fill t.table 0 t.lines (-1);
   t.stats.flushes <- t.stats.flushes + 1
 
-let hit_rate t =
+let hit_rate_opt t =
   let total = t.stats.hits + t.stats.misses in
-  if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total
+  if total = 0 then None else Some (float_of_int t.stats.hits /. float_of_int total)
+
+let hit_rate t = match hit_rate_opt t with None -> 0.0 | Some r -> r
 
 let pp_stats ppf t =
   Fmt.pf ppf "%s: hits=%d misses=%d flushes=%d invl=%d" t.name t.stats.hits

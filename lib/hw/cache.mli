@@ -33,4 +33,8 @@ val flush : t -> unit
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 before any access. *)
 
+val hit_rate_opt : t -> float option
+(** Like {!hit_rate} but [None] before any access, so renderers can show
+    "no traffic" ([-]) instead of a meaningless 0%. *)
+
 val pp_stats : Format.formatter -> t -> unit

@@ -64,6 +64,12 @@ type t = {
      — the "missed invalidation" fault the phantom-entry class models. *)
   mutable tlb_guard : (access -> Tlb.entry -> bool) option;
   mutable invlpg_hook : (int -> bool) option;
+  (* profiling hook (lib/prof): called on every *successful* translation
+     with (access, vpn, tlb_hit) — all unboxed, so with [None] installed
+     the fast path pays one branch and zero allocation, and with a sampler
+     installed the per-translation cost is one closure call. Decimation
+     (every Nth sample) lives inside the hook. *)
+  mutable sample_hook : (access -> int -> bool -> unit) option;
   (* pending-fault registers: like x86's CR2, the details of the last fault
      live in mutable registers instead of an allocated record, so the fast
      path faults without touching the minor heap. [pending_fault]
@@ -76,11 +82,12 @@ type t = {
 
 let no_pagetable _ = None
 
-let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ~phys ~cost () =
+let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?(tlb_policy = Tlb.Fifo)
+    ~phys ~cost () =
   {
     phys;
-    itlb = Tlb.create ~name:"itlb" ~capacity:itlb_capacity;
-    dtlb = Tlb.create ~name:"dtlb" ~capacity:dtlb_capacity;
+    itlb = Tlb.create ~policy:tlb_policy ~name:"itlb" ~capacity:itlb_capacity ();
+    dtlb = Tlb.create ~policy:tlb_policy ~name:"dtlb" ~capacity:dtlb_capacity ();
     cost;
     nx_enabled = false;
     fill_mode = Hardware_walk;
@@ -91,6 +98,7 @@ let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ~phys ~cost () =
     obs = Obs.null;
     tlb_guard = None;
     invlpg_hook = None;
+    sample_hook = None;
     pend_addr = 0;
     pend_access = Read;
     pend_kind = Not_present;
@@ -169,6 +177,8 @@ let reload_cr3_dual t ~code ~data =
 
 let set_tlb_guard t g = t.tlb_guard <- g
 let set_invlpg_hook t h = t.invlpg_hook <- h
+let set_sample_hook t h = t.sample_hook <- h
+let sample_hook t = t.sample_hook
 
 let invlpg t vpn =
   match t.invlpg_hook with
@@ -234,7 +244,10 @@ let rec translate_result t ~from_user access vaddr =
       || (access = Write && not e.writable)
       || (access = Fetch && t.nx_enabled && e.nx)
     then record_fault t ~addr:vaddr ~access ~kind:Protection ~from_user
-    else (e.frame * page_size) + (vaddr mod page_size)
+    else begin
+      (match t.sample_hook with None -> () | Some h -> h access vpn true);
+      (e.frame * page_size) + (vaddr mod page_size)
+    end
   | exception Not_found -> (
     if t.fill_mode = Software_fill then
       (* the hardware has no walker: trap to the OS miss handler *)
@@ -264,6 +277,7 @@ let rec translate_result t ~from_user access vaddr =
           if Obs.enabled t.obs then Obs.count t.obs "mmu.fills";
           Tlb.insert tlb
             { vpn; frame = p.frame; user = p.user; writable = p.writable; nx = p.nx };
+          (match t.sample_hook with None -> () | Some h -> h access vpn false);
           (p.frame * page_size) + (vaddr mod page_size)
         end
     end)

@@ -47,7 +47,16 @@ val pp_fault : Format.formatter -> fault -> unit
 
 type t
 
-val create : ?itlb_capacity:int -> ?dtlb_capacity:int -> phys:Phys.t -> cost:Cost.t -> unit -> t
+val create :
+  ?itlb_capacity:int ->
+  ?dtlb_capacity:int ->
+  ?tlb_policy:Tlb.policy ->
+  phys:Phys.t ->
+  cost:Cost.t ->
+  unit ->
+  t
+(** [tlb_policy] (default {!Tlb.Fifo}) selects the replacement policy for
+    both TLBs — the profiler's eviction-policy experiments sweep it. *)
 
 val phys : t -> Phys.t
 val itlb : t -> Tlb.t
@@ -107,6 +116,18 @@ val set_invlpg_hook : t -> (int -> bool) option -> unit
 (** Install the missed-[invlpg] fault hook: called with the vpn of every
     {!invlpg}; returning [true] swallows the invalidation, leaving any
     cached entries stale. *)
+
+val set_sample_hook : t -> (access -> int -> bool -> unit) option -> unit
+(** Install the address-sampling hook (lib/prof): called as
+    [h access vpn tlb_hit] on every {e successful} translation, after
+    permission checks — faulting accesses are not sampled, and in
+    software-fill mode the post-fill retry is observed as the hit it
+    architecturally is. All arguments are unboxed; with [None] installed
+    the fast path pays a single branch and stays allocation-free, which is
+    what keeps the CI alloc gate green with sampling disabled. Decimation
+    (sample every Nth translation) is the hook's own business. *)
+
+val sample_hook : t -> (access -> int -> bool -> unit) option
 
 val translate : t -> from_user:bool -> access -> int -> int * int
 (** [translate t ~from_user access vaddr] returns [(frame, offset)].

@@ -1,5 +1,9 @@
 type entry = { vpn : int; frame : int; user : bool; writable : bool; nx : bool }
 
+type policy = Fifo | Lru
+
+let policy_name = function Fifo -> "fifo" | Lru -> "lru"
+
 type stats = {
   mutable hits : int;
   mutable misses : int;
@@ -11,41 +15,88 @@ type stats = {
 type t = {
   name : string;
   capacity : int;
+  policy : policy;
   table : (int, entry) Hashtbl.t;
   fifo : int Queue.t;
+  (* occurrence count of each vpn currently in the queue. Under [Lru] the
+     same vpn is re-pushed on every hit; only its *last* occurrence carries
+     recency, so [evict_one] must skip a popped vpn whose count says a
+     fresher occurrence is still queued. Under [Fifo] counts are 0/1 and the
+     logic degenerates to the classic stale-skip. *)
+  occ : (int, int) Hashtbl.t;
   stats : stats;
 }
 
-let create ~name ~capacity =
+let create ?(policy = Fifo) ~name ~capacity () =
   if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
   {
     name;
     capacity;
+    policy;
     table = Hashtbl.create capacity;
     fifo = Queue.create ();
+    occ = Hashtbl.create capacity;
     stats = { hits = 0; misses = 0; flushes = 0; invalidations = 0; evictions = 0 };
   }
 
 let name t = t.name
 let capacity t = t.capacity
+let policy t = t.policy
 let size t = Hashtbl.length t.table
 let stats t = t.stats
+
+let push t vpn =
+  Queue.add vpn t.fifo;
+  match Hashtbl.find_opt t.occ vpn with
+  | None -> Hashtbl.add t.occ vpn 1
+  | Some n -> Hashtbl.replace t.occ vpn (n + 1)
+
+(* Under LRU every hit pushes, so the queue would grow without bound;
+   compact it deterministically once it exceeds a fixed multiple of
+   capacity. Keeping only the *last* occurrence of each live vpn (in
+   relative order) preserves the replacement order exactly, so compaction
+   is semantically invisible — and because it triggers at a deterministic
+   queue length, snapshots taken before/after replay identically. *)
+let compact t =
+  let raw = Array.of_seq (Queue.to_seq t.fifo) in
+  Queue.clear t.fifo;
+  Hashtbl.reset t.occ;
+  let kept = ref [] in
+  let seen = Hashtbl.create t.capacity in
+  for i = Array.length raw - 1 downto 0 do
+    let vpn = raw.(i) in
+    if Hashtbl.mem t.table vpn && not (Hashtbl.mem seen vpn) then begin
+      Hashtbl.add seen vpn ();
+      kept := vpn :: !kept
+    end
+  done;
+  List.iter (fun vpn -> push t vpn) !kept
+
+(* LRU recency update on a hit. Allocates a queue cell — so [Lru] trades
+   the allocation-free hit path for better retention; the alloc-gated
+   default stays [Fifo]. *)
+let touch t vpn =
+  push t vpn;
+  if Queue.length t.fifo > 8 * t.capacity then compact t
 
 let lookup t vpn =
   match Hashtbl.find_opt t.table vpn with
   | Some e ->
     t.stats.hits <- t.stats.hits + 1;
+    if t.policy = Lru then touch t vpn;
     Some e
   | None ->
     t.stats.misses <- t.stats.misses + 1;
     None
 
 (* Allocation-free hit path for the MMU fast path: no [Some] box per hit,
-   and [Not_found] is a constant exception. *)
+   and [Not_found] is a constant exception. (Under [Lru] the recency push
+   allocates; see [touch].) *)
 let find t vpn =
   match Hashtbl.find t.table vpn with
   | e ->
     t.stats.hits <- t.stats.hits + 1;
+    if t.policy = Lru then touch t vpn;
     e
   | exception Not_found ->
     t.stats.misses <- t.stats.misses + 1;
@@ -53,13 +104,20 @@ let find t vpn =
 
 let peek t vpn = Hashtbl.find_opt t.table vpn
 
-(* FIFO replacement: the queue may contain vpns already invalidated; they are
-   skipped when looking for a victim. *)
+(* Replacement: pop until a victim qualifies. A popped vpn is skipped when
+   it was already invalidated, or (LRU) when a fresher occurrence remains
+   queued — only the last occurrence of a vpn carries its recency. *)
 let rec evict_one t =
   match Queue.take_opt t.fifo with
   | None -> ()
   | Some victim ->
-    if Hashtbl.mem t.table victim then begin
+    let remaining =
+      match Hashtbl.find_opt t.occ victim with Some n -> n - 1 | None -> 0
+    in
+    if remaining <= 0 then Hashtbl.remove t.occ victim
+    else Hashtbl.replace t.occ victim remaining;
+    if remaining > 0 then evict_one t
+    else if Hashtbl.mem t.table victim then begin
       Hashtbl.remove t.table victim;
       t.stats.evictions <- t.stats.evictions + 1
     end
@@ -69,7 +127,7 @@ let insert t (e : entry) =
   let fresh = not (Hashtbl.mem t.table e.vpn) in
   if fresh && Hashtbl.length t.table >= t.capacity then evict_one t;
   Hashtbl.replace t.table e.vpn e;
-  if fresh then Queue.add e.vpn t.fifo
+  if fresh then push t e.vpn
 
 (* Fault-injection surface (lib/inject): enumerate and mutate live entries
    without touching statistics or the FIFO replacement queue — a tampered
@@ -95,6 +153,7 @@ let invalidate t vpn =
 let flush t =
   Hashtbl.reset t.table;
   Queue.clear t.fifo;
+  Hashtbl.reset t.occ;
   t.stats.flushes <- t.stats.flushes + 1
 
 (* Raw state export for snapshots. The FIFO queue is exported verbatim
@@ -131,17 +190,23 @@ let export t =
 let import t (s : state) =
   Hashtbl.reset t.table;
   Queue.clear t.fifo;
+  Hashtbl.reset t.occ;
   List.iter (fun e -> Hashtbl.replace t.table e.vpn e) s.s_entries;
-  List.iter (fun vpn -> Queue.add vpn t.fifo) s.s_fifo;
+  List.iter (fun vpn -> push t vpn) s.s_fifo;
   t.stats.hits <- s.s_hits;
   t.stats.misses <- s.s_misses;
   t.stats.flushes <- s.s_flushes;
   t.stats.invalidations <- s.s_invalidations;
   t.stats.evictions <- s.s_evictions
 
-let hit_rate t =
+(* [None] before any lookup: "no accesses yet" is not the same thing as a
+   0% hit rate, and rendering layers print it as [-] rather than a bogus
+   percentage. *)
+let hit_rate_opt t =
   let total = t.stats.hits + t.stats.misses in
-  if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total
+  if total = 0 then None else Some (float_of_int t.stats.hits /. float_of_int total)
+
+let hit_rate t = match hit_rate_opt t with None -> 0.0 | Some r -> r
 
 let pp_stats ppf t =
   Fmt.pf ppf "%s: hits=%d misses=%d flushes=%d invl=%d evict=%d" t.name t.stats.hits

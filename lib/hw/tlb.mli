@@ -9,6 +9,15 @@
 
 type entry = { vpn : int; frame : int; user : bool; writable : bool; nx : bool }
 
+(** Replacement policy. [Fifo] (the default) keeps the allocation-free hit
+    path: entries age in insertion order. [Lru] re-queues a vpn on every
+    hit so the least-recently-used live entry is the victim — it retains
+    hot pages better but allocates a queue cell per hit, so the
+    alloc-gated configurations stay on [Fifo]. *)
+type policy = Fifo | Lru
+
+val policy_name : policy -> string
+
 type stats = {
   mutable hits : int;
   mutable misses : int;
@@ -19,9 +28,12 @@ type stats = {
 
 type t
 
-val create : name:string -> capacity:int -> t
+val create : ?policy:policy -> name:string -> capacity:int -> unit -> t
+(** Default policy: {!Fifo}. *)
+
 val name : t -> string
 val capacity : t -> int
+val policy : t -> policy
 val size : t -> int
 val stats : t -> stats
 
@@ -36,7 +48,8 @@ val peek : t -> int -> entry option
 (** Lookup without touching statistics (for tests and assertions). *)
 
 val insert : t -> entry -> unit
-(** Insert (replacing any entry for the same vpn); evicts FIFO when full. *)
+(** Insert (replacing any entry for the same vpn); evicts per the
+    replacement {!policy} when full. *)
 
 val entries : t -> entry list
 (** Live entries sorted by vpn, without touching statistics — the
@@ -74,5 +87,9 @@ val import : t -> state -> unit
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 before any lookup. *)
+
+val hit_rate_opt : t -> float option
+(** Like {!hit_rate} but [None] before any lookup, so renderers can show
+    "no traffic" ([-]) instead of a meaningless 0%. *)
 
 val pp_stats : Format.formatter -> t -> unit

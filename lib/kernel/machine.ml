@@ -74,6 +74,10 @@ type t = {
      independently. *)
   mutable inject_hook : (unit -> unit) option;
   mutable syscall_squeeze : (Proc.t -> int -> bool) option;
+  (* profiling hook (lib/prof): fires in [Sched.switch_to] whenever the
+     running process actually changes, with the incoming process — the
+     scheduler boundary where address samples change owners. *)
+  mutable switch_hook : (Proc.t -> unit) option;
 }
 
 (* Import the point-in-time hardware statistics as gauges, so a metrics
@@ -91,7 +95,8 @@ let install_snapshot_hook obs mmu (cost : Hw.Cost.t) =
         seti (prefix ^ ".flushes") s.flushes;
         seti (prefix ^ ".invalidations") s.invalidations;
         seti (prefix ^ ".evictions") s.evictions;
-        set (prefix ^ ".hit_rate") (Hw.Tlb.hit_rate t)
+        (* no gauge at all before any lookup: a 0% rate would be a lie *)
+        Option.iter (set (prefix ^ ".hit_rate")) (Hw.Tlb.hit_rate_opt t)
       in
       tlb "tlb.itlb" (Hw.Mmu.itlb mmu);
       tlb "tlb.dtlb" (Hw.Mmu.dtlb mmu);
@@ -104,7 +109,7 @@ let install_snapshot_hook obs mmu (cost : Hw.Cost.t) =
           seti (prefix ^ ".misses") s.misses;
           seti (prefix ^ ".flushes") s.flushes;
           seti (prefix ^ ".invalidations") s.invalidations;
-          set (prefix ^ ".hit_rate") (Hw.Cache.hit_rate c)
+          Option.iter (set (prefix ^ ".hit_rate")) (Hw.Cache.hit_rate_opt c)
       in
       cache "cache.icache" (Hw.Mmu.icache mmu);
       cache "cache.dcache" (Hw.Mmu.dcache mmu);
@@ -117,12 +122,13 @@ let install_snapshot_hook obs mmu (cost : Hw.Cost.t) =
       seti "cost.ctx_switches" cost.ctx_switches)
 
 let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
-    ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?(stack_jitter_pages = 0)
-    ?(verify_signatures = true) ?(seed = 7) ?(tlb_fill = Hw.Mmu.Hardware_walk)
-    ?(caches = false) ?(obs = Obs.null) ~protection () =
+    ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?tlb_policy
+    ?(stack_jitter_pages = 0) ?(verify_signatures = true) ?(seed = 7)
+    ?(tlb_fill = Hw.Mmu.Hardware_walk) ?(caches = false) ?(obs = Obs.null)
+    ~protection () =
   let phys = Hw.Phys.create ~page_size ~frames () in
   let cost = Hw.Cost.create ?params:cost_params () in
-  let mmu = Hw.Mmu.create ~itlb_capacity ~dtlb_capacity ~phys ~cost () in
+  let mmu = Hw.Mmu.create ~itlb_capacity ~dtlb_capacity ?tlb_policy ~phys ~cost () in
   Hw.Mmu.set_nx mmu protection.Protection.nx_hardware;
   Hw.Mmu.set_fill_mode mmu tlb_fill;
   if caches then Hw.Mmu.enable_caches mmu;
@@ -176,6 +182,7 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     syscall_tracer = None;
     inject_hook = None;
     syscall_squeeze = None;
+    switch_hook = None;
   }
 
 let ctx t : Protection.ctx =

@@ -76,6 +76,10 @@ type t = {
   mutable syscall_squeeze : (Proc.t -> int -> bool) option;
       (** consulted before each syscall dispatch; [true] = fail this
           dispatch transiently and restart the syscall (lib/inject) *)
+  mutable switch_hook : (Proc.t -> unit) option;
+      (** fired in [Sched.switch_to] when the running process changes,
+          with the incoming process — pid attribution for address
+          sampling (lib/prof) *)
 }
 
 val create :
@@ -85,6 +89,7 @@ val create :
   ?cost_params:Hw.Cost.params ->
   ?itlb_capacity:int ->
   ?dtlb_capacity:int ->
+  ?tlb_policy:Hw.Tlb.policy ->
   ?stack_jitter_pages:int ->
   ?verify_signatures:bool ->
   ?seed:int ->

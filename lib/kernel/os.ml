@@ -93,3 +93,10 @@ let set_syscall_tracer (t : t) tracer = t.Machine.syscall_tracer <- tracer
 
 let set_inject_hook (t : t) hook = t.Machine.inject_hook <- hook
 let set_syscall_squeeze (t : t) squeeze = t.Machine.syscall_squeeze <- squeeze
+
+(* ------------------------------------------------------------------ *)
+(* Profiling (lib/prof)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let set_switch_hook (t : t) hook = t.Machine.switch_hook <- hook
+let last_running (t : t) = t.Machine.last_running

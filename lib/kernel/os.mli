@@ -32,6 +32,7 @@ val create :
   ?cost_params:Hw.Cost.params ->
   ?itlb_capacity:int ->
   ?dtlb_capacity:int ->
+  ?tlb_policy:Hw.Tlb.policy ->
   ?stack_jitter_pages:int ->
   ?verify_signatures:bool ->
   ?seed:int ->
@@ -44,7 +45,9 @@ val create :
 (** [stack_jitter_pages] models the slight stack-placement randomization of
     Linux 2.6 that made the Samba exploit brute-force (paper §6.1.2).
     [tlb_fill] selects the x86 hardware page walker (default) or the
-    SPARC-style software-managed TLB of §4.7. [obs] (default {!Obs.null})
+    SPARC-style software-managed TLB of §4.7. [tlb_policy] (default
+    {!Hw.Tlb.Fifo}) selects the TLB replacement policy — the profiler's
+    eviction experiments sweep it. [obs] (default {!Obs.null})
     turns on cycle-stamped tracing and metrics across the whole machine:
     the clock is wired to the cost model, the MMU and event log emit into
     it, and a snapshot hook imports TLB/cache/cost statistics as gauges. *)
@@ -170,3 +173,14 @@ val set_syscall_squeeze : t -> (Proc.t -> int -> bool) option -> unit
     syscall number) before each dispatch; returning [true] suppresses the
     dispatch and rewinds the guest so the syscall restarts (ERESTART
     discipline). *)
+
+val set_switch_hook : t -> (Proc.t -> unit) option -> unit
+(** Install the context-switch callback: fired from the scheduler whenever
+    the running process {e changes} (not on every dispatch of the same
+    process), with the incoming process. lib/prof attributes address
+    samples to pids through this. *)
+
+val last_running : t -> int option
+(** Pid of the last process the scheduler switched to, if any — what a
+    freshly installed switch hook must seed from (the hook only fires on
+    change). *)

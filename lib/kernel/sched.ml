@@ -52,6 +52,7 @@ let switch_to (m : M.t) (p : Proc.t) =
     Hw.Cost.charge_ctx_switch m.cost;
     M.load_pagetables m p;
     m.last_running <- Some p.pid;
+    (match m.switch_hook with Some f -> f p | None -> ());
     if Obs.enabled m.obs then
       Obs.event m.obs ~cat:"os" "os.ctx_switch" ~args:[ ("pid", Obs.Json.Int p.pid) ]
   end

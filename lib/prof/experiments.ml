@@ -1,0 +1,143 @@
+(* Profile-driven policy experiments: the point of collecting samples in
+   the first place. Each experiment fans a grid of independent machines
+   over the fleet (submission-order results, so the rendered tables are
+   byte-identical at any -j), attaches a profiler to every machine, and
+   reports both the machine-level counters and what the sample stream
+   says about them. *)
+
+(* Small apache-shape pair: the same server/client workload simctl's
+   apache32k scenario uses, scaled down so a full sweep stays fast. *)
+let apache_spec ~defense =
+  Workload.Figures.apache_spec ~defense ~size:(32 * 1024) ~requests:3
+
+type sweep_row = {
+  sw_capacity : int;
+  sw_policy : Hw.Tlb.policy;
+  sw_cycles : int;
+  sw_itlb_hit : float option;
+  sw_dtlb_hit : float option;
+  sw_sampled_hit : float option;
+  sw_pages : int;  (* distinct sampled (pid, vpn) *)
+}
+
+let run_profiled ~rate (spec : Workload.Harness.spec) =
+  let prof = ref None in
+  let _result, os =
+    Workload.Harness.run_k ~tune:(fun k -> prof := Some (Profiler.attach ~rate k)) spec
+  in
+  (os, Option.get !prof)
+
+(* TLB capacity x replacement-policy sweep. The subject is the tlb_walker
+   guest — a hot/cold page walk whose reuse distance exceeds small TLBs —
+   because the paper's streaming workloads have no reuse beyond the
+   current page and are flat in both capacity and policy. The paper's
+   Fig. 6 aggregates say split memory costs what it costs; this says
+   where the TLB budget should go: how much capacity (and which victim
+   choice) the sampled working set actually needs. *)
+let walker_spec ~defense =
+  Workload.Harness.single ~defense (Workload.Guests.tlb_walker ~rounds:400 ())
+
+let tlb_sweep ?jobs ?(capacities = [ 2; 4; 8; 16; 64 ])
+    ?(policies = [ Hw.Tlb.Fifo; Hw.Tlb.Lru ]) ?(rate = 64)
+    ?(defense = Defense.split_standalone) () =
+  let grid =
+    List.concat_map (fun cap -> List.map (fun pol -> (cap, pol)) policies) capacities
+  in
+  let job (cap, pol) =
+    let spec =
+      {
+        (walker_spec ~defense) with
+        Workload.Harness.label = Fmt.str "tlb-%d-%s" cap (Hw.Tlb.policy_name pol);
+        itlb_capacity = Some cap;
+        dtlb_capacity = Some cap;
+        tlb_policy = Some pol;
+      }
+    in
+    let os, prof = run_profiled ~rate spec in
+    let mmu = Kernel.Os.mmu os in
+    let samples = Profiler.samples prof in
+    let n = List.length samples in
+    let hits =
+      List.length (List.filter (fun (s : Sampler.sample) -> s.tlb_hit) samples)
+    in
+    {
+      sw_capacity = cap;
+      sw_policy = pol;
+      sw_cycles = (Kernel.Os.cost os).Hw.Cost.cycles;
+      sw_itlb_hit = Hw.Tlb.hit_rate_opt (Hw.Mmu.itlb mmu);
+      sw_dtlb_hit = Hw.Tlb.hit_rate_opt (Hw.Mmu.dtlb mmu);
+      sw_sampled_hit =
+        (if n = 0 then None else Some (float_of_int hits /. float_of_int n));
+      sw_pages = List.length (Analysis.page_stats samples);
+    }
+  in
+  let results =
+    Fleet.map ?jobs
+      ~label:(fun (cap, pol) -> Fmt.str "tlb-%d-%s" cap (Hw.Tlb.policy_name pol))
+      job grid
+  in
+  List.filter_map (function Ok r -> Some r | Error (_ : Fleet.error) -> None) results
+
+(* Two decimals here: the interesting capacity effects are fractions of a
+   percent of dtlb hit rate, invisible at Report.percent's %.0f. *)
+let pct2 = function None -> "-" | Some v -> Fmt.str "%.2f%%" (v *. 100.)
+
+let render_tlb_sweep rows =
+  Report.table
+    ~title:"TLB capacity x eviction policy (hot/cold page walk, 12-page reuse set)"
+    ~header:
+      [ "capacity"; "policy"; "cycles"; "itlb-hit"; "dtlb-hit"; "sampled-hit"; "pages" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.sw_capacity;
+           Hw.Tlb.policy_name r.sw_policy;
+           string_of_int r.sw_cycles;
+           pct2 r.sw_itlb_hit;
+           pct2 r.sw_dtlb_hit;
+           pct2 r.sw_sampled_hit;
+           string_of_int r.sw_pages;
+         ])
+       rows)
+
+(* Hot-page ranking for the split-page machinery: which (pid, page) pairs
+   the split defense actually spends its faults on, per workload — the
+   candidate pin set for any split-page cache. One fleet job per
+   workload; render order = submission order. *)
+let hot_page_ranking ?jobs ?(rate = 64) ?(top = 8)
+    ?(defense = Defense.split_standalone) () =
+  let specs =
+    [
+      ("apache", apache_spec ~defense);
+      ("ctxsw", Workload.Figures.ctxsw_spec ~defense ~iters:40);
+    ]
+  in
+  let job (name, spec) =
+    let _os, prof = run_profiled ~rate spec in
+    let samples = Profiler.samples prof in
+    let rows =
+      List.map
+        (fun (st : Analysis.page_stat) ->
+          [
+            name;
+            string_of_int st.pg_pid;
+            Fmt.str "0x%05x" st.pg_vpn;
+            string_of_int st.pg_samples;
+            string_of_int st.pg_fetches;
+            Report.percent_opt
+              (if st.pg_samples = 0 then None
+               else Some (float_of_int st.pg_hits /. float_of_int st.pg_samples));
+          ])
+        (Analysis.hot_split_pages ~top samples)
+    in
+    rows
+  in
+  let results = Fleet.map ?jobs ~label:fst job specs in
+  let rows =
+    List.concat_map (function Ok r -> r | Error (_ : Fleet.error) -> []) results
+  in
+  Report.table
+    ~title:(Fmt.str "hot split pages (defense=%s, top %d per workload)"
+              (Defense.name defense) top)
+    ~header:[ "workload"; "pid"; "vpn"; "samples"; "fetches"; "tlb-hit" ]
+    rows

@@ -1,0 +1,34 @@
+(** Profile-driven policy experiments, fleet-fanned with submission-order
+    merging (byte-identical output at any [jobs]). *)
+
+type sweep_row = {
+  sw_capacity : int;
+  sw_policy : Hw.Tlb.policy;
+  sw_cycles : int;
+  sw_itlb_hit : float option;
+  sw_dtlb_hit : float option;
+  sw_sampled_hit : float option;  (** tlb_hit fraction of the sample stream *)
+  sw_pages : int;  (** distinct sampled (pid, vpn) pairs *)
+}
+
+val tlb_sweep :
+  ?jobs:int ->
+  ?capacities:int list ->
+  ?policies:Hw.Tlb.policy list ->
+  ?rate:int ->
+  ?defense:Defense.t ->
+  unit ->
+  sweep_row list
+(** TLB capacity x eviction-policy grid on the tlb_walker hot/cold page
+    walk (the streaming workloads have no reuse and are flat in both
+    axes), one profiled machine per cell. Defaults: capacities [2..64],
+    both policies, rate 64, stand-alone split memory. *)
+
+val render_tlb_sweep : sweep_row list -> string
+(** Fig-style table of {!tlb_sweep} rows. *)
+
+val hot_page_ranking :
+  ?jobs:int -> ?rate:int -> ?top:int -> ?defense:Defense.t -> unit -> string
+(** Fig-style table ranking the hottest {e split} pages per workload
+    (apache-shape and pipe-ctxsw) — the candidate pin set for a
+    split-page cache. *)

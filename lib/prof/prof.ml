@@ -1,0 +1,12 @@
+(* Library interface: the sample ring (Sampler), the machine wiring
+   (Profiler), report derivation (Analysis) and the profile-driven policy
+   experiments (Experiments). The top level re-exports Profiler so
+   [Prof.attach]/[Prof.samples]/[Prof.rearm] read like the obvious
+   entry points. *)
+
+module Sampler = Sampler
+module Profiler = Profiler
+module Analysis = Analysis
+module Experiments = Experiments
+
+include Profiler

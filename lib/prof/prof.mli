@@ -1,0 +1,16 @@
+(** Address-sampling profiler threaded through the MMU translation path
+    (DESIGN.md §11): deterministic every-Nth sampling into a bounded
+    ring, working-set/persistence/heatmap reports, and profile-driven
+    TLB policy experiments.
+
+    [Prof.attach os] is the entry point; the submodules are the layers:
+    {!Sampler} (the ring), {!Profiler} (machine wiring + snapshot
+    integration), {!Analysis} (reports), {!Experiments} (fleet-fanned
+    policy sweeps). *)
+
+module Sampler = Sampler
+module Profiler = Profiler
+module Analysis = Analysis
+module Experiments = Experiments
+
+include module type of Profiler with type t = Profiler.t

@@ -1,0 +1,53 @@
+(** Address-sampling profiler (the PEBS-style workflow, in-simulator).
+
+    {!attach} threads a {!Sampler} through a machine's MMU translation
+    path: every [rate]-th successful translation records
+    [{cycle; pid; vpn; access; tlb_hit; split_page}] into a bounded ring.
+    Decimation is driven by a deterministic per-machine counter, so runs
+    are reproducible and snapshot replays sample identically; pid
+    attribution comes from the scheduler's context-switch hook.
+
+    Overhead follows the [lib/obs] discipline: with no profiler attached
+    the MMU pays one branch per translation and stays allocation-free
+    (the CI alloc gate runs in this configuration); attached, each
+    translation costs a closure call and each {e sampled} translation a
+    few int stores. When the machine's obs sink is live, the profiler
+    also exports [prof.*] gauges (rate, samples, dropped, taken,
+    translations) into metrics snapshots. *)
+
+type t
+
+val attach : ?rate:int -> ?capacity:int -> Kernel.Os.t -> t
+(** Install the sampler on the machine ([rate] default 64, [capacity]
+    default 8192). Replaces any previously attached profiler's hooks. *)
+
+val detach : t -> unit
+(** Remove the MMU sample hook and the scheduler switch hook, returning
+    the machine to the zero-overhead configuration. The collected samples
+    remain readable. *)
+
+val sampler : t -> Sampler.t
+val samples : t -> Sampler.sample list
+(** Live samples, oldest first. *)
+
+(** {2 Snapshot integration}
+
+    Sampler state (ring contents, decimation phase, counters, pid
+    attribution) rides in snapshot metadata under {!meta_state_key}, the
+    same extension mechanism lib/inject uses — the binary snapshot format
+    is untouched. *)
+
+val meta_state_key : string
+
+val meta : t -> (string * string) list
+(** The metadata pairs to pass to [Snap.Snapshot.checkpoint ~meta]. *)
+
+val checkpoint : ?meta:(string * string) list -> t -> Snap.Snapshot.t
+(** [Snap.Snapshot.checkpoint] of the profiled machine with the sampler
+    state appended to [meta]. *)
+
+val rearm : Kernel.Os.t -> Snap.Snapshot.t -> t option
+(** After [Snap.Snapshot.restore os snap], rebuild the profiler from the
+    snapshot's sampler state and reinstall its hooks on [os]; [None] if
+    the snapshot carries no profiler state. The rearmed profiler's future
+    samples are bit-identical to the original run's. *)

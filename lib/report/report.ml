@@ -60,4 +60,66 @@ let dist ?(width = 40) ~title cells =
     cells;
   Buffer.contents buf
 
-let percent v = Fmt.str "%.0f%%" (v *. 100.)
+(* Percentages come from ratios whose denominator can be zero; never let a
+   NaN/inf reach a report — render the "no data" dash instead. *)
+let percent v = if not (Float.is_finite v) then "-" else Fmt.str "%.0f%%" (v *. 100.)
+
+let percent_opt = function None -> "-" | Some v -> percent v
+
+(* CSV rendering (RFC-4180-ish): quote any cell containing a comma, quote
+   or newline; double embedded quotes. *)
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv ~header rows =
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  List.iter line rows;
+  Buffer.contents buf
+
+(* ASCII heatmap: one row per y-label, one glyph per x-bucket, intensity
+   scaled to the global peak so relative hotness is comparable across
+   rows. The glyph ramp is fixed; a count of zero renders as ['.'] so the
+   grid shape stays visible. *)
+let heat_ramp = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+let heatmap ~title ~xlabel ~rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  let label_w =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 rows
+  in
+  let peak =
+    List.fold_left
+      (fun acc (_, cells) -> Array.fold_left max acc cells)
+      0 rows
+  in
+  List.iter
+    (fun (label, cells) ->
+      Buffer.add_string buf (Fmt.str "  %s  " (pad label_w label));
+      Array.iter
+        (fun n ->
+          let g =
+            if n <= 0 || peak <= 0 then heat_ramp.(0)
+            else
+              let i = 1 + (n * (Array.length heat_ramp - 2) / peak) in
+              heat_ramp.(min i (Array.length heat_ramp - 1))
+          in
+          Buffer.add_char buf g)
+        cells;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf
+    (Fmt.str "  %s  %s\n" (String.make label_w ' ') xlabel);
+  Buffer.add_string buf
+    (Fmt.str "  scale: %s = 0 .. %c = %d\n"
+       (String.make 1 heat_ramp.(0))
+       heat_ramp.(Array.length heat_ramp - 1)
+       peak);
+  Buffer.contents buf

@@ -12,3 +12,16 @@ val dist : ?width:int -> title:string -> (string * int) list -> string
     to the largest count. *)
 
 val percent : float -> string
+(** ["93%"]-style rendering; a non-finite value (0/0 upstream) renders as
+    ["-"] rather than ["nan%"]. *)
+
+val percent_opt : float option -> string
+(** {!percent}, with [None] (no traffic at all) rendered as ["-"]. *)
+
+val csv : header:string list -> string list list -> string
+(** Comma-separated rendering of the same row shape {!table} takes; cells
+    containing commas, quotes or newlines are quoted. *)
+
+val heatmap : title:string -> xlabel:string -> rows:(string * int array) list -> string
+(** ASCII intensity grid: one line per [(label, cells)] row, one glyph per
+    cell, ramp [. : - = + * # @] scaled to the global peak count. *)

@@ -530,6 +530,41 @@ let fscopy ~passes ~size () =
       @ Guest.sys_exit 0)
     ~entry:"main" ()
 
+(* TLB pressure kernel for the profiler's policy sweep: each round walks
+   [pages] data pages in order, re-touching the hot page (page 0) between
+   every step. With LRU the hot page stays resident and only the walk
+   misses; FIFO evicts it in rotation and thrashes once [pages] exceeds
+   the TLB capacity — exactly the reuse pattern the streaming workloads
+   (gzip, fscopy) lack, which is why their miss rates are flat in
+   capacity. *)
+let tlb_walker ?(pages = 12) ~rounds () =
+  Kernel.Image.build ~name:"tlb-walker" ~bss_size:(pages * 4096)
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EBP, rounds));
+        L "round";
+        I (Cmp_ri (EBP, 0));
+        I (Jz (Lbl "done"));
+        I (Mov_ri (ECX, 0));
+        L "walk";
+        I (Cmp_ri (ECX, pages * 4096));
+        I (Jge (Lbl "walk_end"));
+        I (Mov_ri (EBX, lbl "bss"));
+        I (Add (EBX, ECX));
+        I (Load (EAX, EBX, 0));
+        I (Mov_ri (EBX, lbl "bss"));
+        I (Load (EDX, EBX, 0));
+        I (Add_ri (ECX, 4096));
+        I (Jmp (Lbl "walk"));
+        L "walk_end";
+        I (Add_ri (EBP, -1));
+        I (Jmp (Lbl "round"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
 (* A sparse image: a large data segment of which the program touches only a
    prefix — distinguishes eager page duplication (the paper's prototype)
    from demand splitting (its proposed optimization). *)

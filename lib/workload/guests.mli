@@ -53,6 +53,12 @@ val spawn_bench : iters:int -> unit -> Kernel.Image.t
 val fscopy : passes:int -> size:int -> unit -> Kernel.Image.t
 (** Word-wise copies between two heap buffers (filesystem-ish traffic). *)
 
+val tlb_walker : ?pages:int -> rounds:int -> unit -> Kernel.Image.t
+(** TLB pressure kernel: per round, walk [pages] data pages in order,
+    re-touching the hot page (page 0) between steps — the hot/cold reuse
+    pattern that separates LRU from FIFO once [pages] exceeds the TLB
+    capacity. Default 12 pages. *)
+
 val sparse : ?data_pages:int -> ?touch_pages:int -> unit -> Kernel.Image.t
 (** Large data segment, tiny touched prefix — separates eager page
     duplication from demand splitting in the memory-overhead ablation. *)

@@ -61,6 +61,7 @@ type spec = {
   seed : int option;
   itlb_capacity : int option;
   dtlb_capacity : int option;
+  tlb_policy : Hw.Tlb.policy option;
   caches : bool;
   wiring : wiring;
   guests : guest list;
@@ -69,7 +70,7 @@ type spec = {
 let guest ?(eager = false) ?(protected = true) image = { image; eager; protected }
 
 let spec ?label ?protection ?tlb_fill ?(frames = 16384) ?(fuel = 100_000_000)
-    ?quantum ?seed ?itlb_capacity ?dtlb_capacity ?(caches = false)
+    ?quantum ?seed ?itlb_capacity ?dtlb_capacity ?tlb_policy ?(caches = false)
     ?(wiring = Isolated) ~defense guests =
   let label =
     match (label, guests) with
@@ -88,6 +89,7 @@ let spec ?label ?protection ?tlb_fill ?(frames = 16384) ?(fuel = 100_000_000)
     seed;
     itlb_capacity;
     dtlb_capacity;
+    tlb_policy;
     caches;
     wiring;
     guests;
@@ -110,7 +112,7 @@ let build ?(obs = Obs.null) s =
   let k =
     Kernel.Os.create ~frames:s.frames ~tlb_fill ?quantum:s.quantum ?seed:s.seed
       ?itlb_capacity:s.itlb_capacity ?dtlb_capacity:s.dtlb_capacity
-      ~caches:s.caches ~obs ~protection ()
+      ?tlb_policy:s.tlb_policy ~caches:s.caches ~obs ~protection ()
   in
   let procs =
     List.map

@@ -50,6 +50,8 @@ type spec = {
   seed : int option;  (** kernel PRNG seed (stack jitter) *)
   itlb_capacity : int option;
   dtlb_capacity : int option;
+  tlb_policy : Hw.Tlb.policy option;
+      (** TLB replacement policy override (default hardware {!Hw.Tlb.Fifo}) *)
   caches : bool;
   wiring : wiring;
   guests : guest list;
@@ -68,6 +70,7 @@ val spec :
   ?seed:int ->
   ?itlb_capacity:int ->
   ?dtlb_capacity:int ->
+  ?tlb_policy:Hw.Tlb.policy ->
   ?caches:bool ->
   ?wiring:wiring ->
   defense:Defense.t ->

@@ -33,7 +33,7 @@ let test_phys_bounds () =
 let entry vpn frame : Hw.Tlb.entry = { vpn; frame; user = true; writable = true; nx = false }
 
 let test_tlb_basics () =
-  let tlb = Hw.Tlb.create ~name:"t" ~capacity:2 in
+  let tlb = Hw.Tlb.create ~name:"t" ~capacity:2 () in
   Hw.Tlb.insert tlb (entry 1 10);
   Hw.Tlb.insert tlb (entry 2 20);
   Alcotest.(check bool) "hit 1" true (Hw.Tlb.lookup tlb 1 <> None);
@@ -45,7 +45,7 @@ let test_tlb_basics () =
   Alcotest.(check bool) "vpn3 present" true (Hw.Tlb.peek tlb 3 <> None)
 
 let test_tlb_replace_same_vpn () =
-  let tlb = Hw.Tlb.create ~name:"t" ~capacity:2 in
+  let tlb = Hw.Tlb.create ~name:"t" ~capacity:2 () in
   Hw.Tlb.insert tlb (entry 1 10);
   Hw.Tlb.insert tlb (entry 1 99);
   Alcotest.(check int) "still one entry" 1 (Hw.Tlb.size tlb);
@@ -54,7 +54,7 @@ let test_tlb_replace_same_vpn () =
   | None -> Alcotest.fail "entry missing"
 
 let test_tlb_invalidate_flush () =
-  let tlb = Hw.Tlb.create ~name:"t" ~capacity:8 in
+  let tlb = Hw.Tlb.create ~name:"t" ~capacity:8 () in
   Hw.Tlb.insert tlb (entry 1 10);
   Hw.Tlb.insert tlb (entry 2 20);
   Hw.Tlb.invalidate tlb 1;

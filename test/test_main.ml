@@ -26,4 +26,5 @@ let () =
       ("snap", Test_snap.suite);
       ("trap", Test_trap.suite);
       ("inject", Test_inject.suite);
+      ("prof", Test_prof.suite);
     ]

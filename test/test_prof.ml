@@ -1,0 +1,223 @@
+(* The address-sampling profiler (lib/prof).
+
+   The foundation mirrors lib/inject's null-effect property: sampling is
+   an observer, so an attached profiler must leave the run bit-identical
+   (event log and every cost counter) to an unprofiled one — property-
+   tested across defenses and guests. On top of that: the sampler's
+   snapshot state round-trips exactly (including future decimation
+   decisions), a checkpoint/restore/rearm replay renders byte-identical
+   reports, the fleet-fanned policy sweep is byte-identical at -j1 and
+   -j4, the LRU TLB keeps recently-touched entries that FIFO evicts, and
+   zero-access hit rates render as "-" rather than NaN. *)
+
+let run_to_end os = Kernel.Os.run ~fuel:2_000_000 os
+
+let final_state os =
+  let c = Kernel.Os.cost os in
+  ( (c.cycles, c.insns, c.traps, c.split_faults, c.single_steps, c.syscalls, c.ctx_switches),
+    List.map
+      (Fmt.str "%a" Kernel.Event_log.pp_event)
+      (Kernel.Event_log.to_list (Kernel.Os.log os)) )
+
+(* --- The observer property ------------------------------------------------ *)
+
+let gen_spec =
+  QCheck.Gen.(
+    let* defense = oneofl [ Defense.unprotected; Defense.nx; Defense.split_standalone ] in
+    let* guest =
+      oneof
+        [
+          map (fun iters -> Workload.Guests.nbench ~iters ()) (int_range 1 4);
+          map (fun size -> Workload.Guests.gzip ~size ()) (int_range 512 2048);
+          map (fun iters -> Workload.Guests.syscall_bench ~iters ()) (int_range 5 40);
+        ]
+    in
+    let* rate = oneofl [ 1; 7; 64 ] in
+    return (defense, guest, rate))
+
+let print_spec (defense, guest, rate) =
+  Fmt.str "%s/%s/rate=%d" (Defense.name defense) guest.Kernel.Image.name rate
+
+let prop_profiler_invisible =
+  QCheck.Test.make ~name:"attached profiler is bit-invisible" ~count:30
+    (QCheck.make ~print:print_spec gen_spec)
+    (fun (defense, guest, rate) ->
+      let spec = Workload.Harness.single ~defense guest in
+      let base = Workload.Harness.build spec in
+      ignore (run_to_end base : Kernel.Os.stop_reason);
+      let os = Workload.Harness.build spec in
+      let prof = Prof.attach ~rate os in
+      ignore (run_to_end os : Kernel.Os.stop_reason);
+      (* the sampler must actually be live, not trivially disabled *)
+      Prof.Sampler.seen (Prof.sampler prof) > 0
+      && final_state base = final_state os)
+
+(* --- Sampler state round-trip --------------------------------------------- *)
+
+(* Fill past capacity so wrap/dropped state is exercised, then check the
+   clone replays both the ring contents and the future decimation
+   decisions exactly. *)
+let test_sampler_roundtrip () =
+  let s = Prof.Sampler.create ~capacity:8 ~rate:3 () in
+  for i = 0 to 99 do
+    Prof.Sampler.set_pid s (1 + (i mod 3));
+    if Prof.Sampler.tick s then
+      Prof.Sampler.record s ~cycle:(i * 10) ~vpn:(0x100 + i)
+        ~access:(if i mod 2 = 0 then Hw.Mmu.Read else Hw.Mmu.Fetch)
+        ~tlb_hit:(i mod 5 <> 0) ~split:(i mod 7 = 0)
+  done;
+  let s' = Prof.Sampler.import (Prof.Sampler.export s) in
+  Alcotest.(check int) "rate" (Prof.Sampler.rate s) (Prof.Sampler.rate s');
+  Alcotest.(check int) "length" (Prof.Sampler.length s) (Prof.Sampler.length s');
+  Alcotest.(check int) "dropped" (Prof.Sampler.dropped s) (Prof.Sampler.dropped s');
+  Alcotest.(check int) "seen" (Prof.Sampler.seen s) (Prof.Sampler.seen s');
+  Alcotest.(check int) "taken" (Prof.Sampler.taken s) (Prof.Sampler.taken s');
+  Alcotest.(check int) "pid" (Prof.Sampler.pid s) (Prof.Sampler.pid s');
+  Alcotest.(check bool) "samples" true (Prof.Sampler.samples s = Prof.Sampler.samples s');
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "tick parity" (Prof.Sampler.tick s) (Prof.Sampler.tick s')
+  done;
+  Alcotest.check_raises "corrupt"
+    (Prof.Sampler.Corrupt_state "Sampler.import: truncated header") (fun () ->
+      ignore (Prof.Sampler.import "" : Prof.Sampler.t))
+
+(* --- Snapshot replay ------------------------------------------------------- *)
+
+(* Reference run: checkpoint mid-flight (sampler state rides in snapshot
+   metadata), finish. Replay: fresh machine, restore, rearm, finish. The
+   two sample streams — and everything rendered from them — must match
+   byte-for-byte. *)
+let profile_report prof =
+  let samples = Prof.samples prof in
+  Prof.Analysis.summary_line samples (Prof.sampler prof)
+  ^ Prof.Analysis.render_heatmap samples
+  ^ Prof.Analysis.render_working_set samples
+  ^ Prof.Analysis.render_persistence samples
+
+let test_replay_identical () =
+  let spec =
+    Workload.Figures.ctxsw_spec ~defense:Defense.split_standalone ~iters:40
+  in
+  let os = Workload.Harness.build spec in
+  let prof = Prof.attach ~rate:16 os in
+  ignore (Kernel.Os.run ~fuel:30_000 os : Kernel.Os.stop_reason);
+  let snap = Prof.checkpoint prof in
+  ignore (run_to_end os : Kernel.Os.stop_reason);
+  let reference = profile_report prof in
+  let os' = Workload.Harness.build spec in
+  Snap.Snapshot.restore os' snap;
+  let prof' =
+    match Prof.rearm os' snap with
+    | Some p -> p
+    | None -> Alcotest.fail "snapshot carries no profiler state"
+  in
+  ignore (run_to_end os' : Kernel.Os.stop_reason);
+  Alcotest.(check string) "replayed report" reference (profile_report prof');
+  Alcotest.(check bool) "machine state" true (final_state os = final_state os')
+
+(* --- Fleet determinism ----------------------------------------------------- *)
+
+let test_sweep_jobs_invariant () =
+  let sweep jobs =
+    Prof.Experiments.render_tlb_sweep
+      (Prof.Experiments.tlb_sweep ~jobs ~capacities:[ 2; 16 ] ())
+  in
+  let j1 = sweep 1 in
+  Alcotest.(check string) "-j4 = -j1" j1 (sweep 4);
+  Alcotest.(check bool) "sweep nonempty" true (String.length j1 > 0)
+
+(* --- TLB replacement policy ------------------------------------------------ *)
+
+let entry vpn frame = { Hw.Tlb.vpn; frame; user = true; writable = true; nx = false }
+
+let test_lru_keeps_touched () =
+  let lru = Hw.Tlb.create ~policy:Hw.Tlb.Lru ~name:"t" ~capacity:2 () in
+  Hw.Tlb.insert lru (entry 1 10);
+  Hw.Tlb.insert lru (entry 2 20);
+  ignore (Hw.Tlb.lookup lru 1 : Hw.Tlb.entry option);
+  Hw.Tlb.insert lru (entry 3 30);
+  Alcotest.(check bool) "lru keeps 1" true (Hw.Tlb.peek lru 1 <> None);
+  Alcotest.(check bool) "lru evicts 2" true (Hw.Tlb.peek lru 2 = None);
+  let fifo = Hw.Tlb.create ~name:"t" ~capacity:2 () in
+  Hw.Tlb.insert fifo (entry 1 10);
+  Hw.Tlb.insert fifo (entry 2 20);
+  ignore (Hw.Tlb.lookup fifo 1 : Hw.Tlb.entry option);
+  Hw.Tlb.insert fifo (entry 3 30);
+  Alcotest.(check bool) "fifo evicts 1" true (Hw.Tlb.peek fifo 1 = None);
+  Alcotest.(check bool) "fifo keeps 2" true (Hw.Tlb.peek fifo 2 <> None)
+
+(* Re-touching one vpn many times must not let the occurrence queue starve
+   eviction of the others (the compaction path). *)
+let test_lru_hot_loop () =
+  let t = Hw.Tlb.create ~policy:Hw.Tlb.Lru ~name:"t" ~capacity:2 () in
+  Hw.Tlb.insert t (entry 1 10);
+  Hw.Tlb.insert t (entry 2 20);
+  for _ = 1 to 100 do
+    ignore (Hw.Tlb.lookup t 1 : Hw.Tlb.entry option)
+  done;
+  Hw.Tlb.insert t (entry 3 30);
+  Alcotest.(check bool) "hot stays" true (Hw.Tlb.peek t 1 <> None);
+  Alcotest.(check bool) "cold goes" true (Hw.Tlb.peek t 2 = None);
+  Alcotest.(check int) "size" 2 (Hw.Tlb.size t)
+
+(* --- Golden report ---------------------------------------------------------- *)
+
+(* The rendered profile of the pinned ctxsw workload, pinned byte-for-byte
+   (regenerate with REGEN_GOLDEN=test/golden dune exec test/test_main.exe
+   -- test prof). Any change to the sampler's decimation, the cost model's
+   cycle stamps or the report renderers shows up here. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_profile () =
+  let spec =
+    Workload.Figures.ctxsw_spec ~defense:Defense.split_standalone ~iters:40
+  in
+  let prof = ref None in
+  let _result, _os =
+    Workload.Harness.run_k ~tune:(fun k -> prof := Some (Prof.attach ~rate:64 k)) spec
+  in
+  let got = profile_report (Option.get !prof) in
+  match Sys.getenv_opt "REGEN_GOLDEN" with
+  | Some dir ->
+    let path = Filename.concat dir "profile-ctxsw.golden" in
+    let oc = open_out_bin path in
+    output_string oc got;
+    close_out oc;
+    Fmt.epr "regenerated %s@." path
+  | None ->
+    let path = Filename.concat "golden" "profile-ctxsw.golden" in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "missing golden file %s (run with REGEN_GOLDEN)" path;
+    Alcotest.(check string) "profile report" (read_file path) got
+
+(* --- Zero-access guards ---------------------------------------------------- *)
+
+let test_hit_rate_guards () =
+  let t = Hw.Tlb.create ~name:"t" ~capacity:4 () in
+  Alcotest.(check bool) "tlb none" true (Hw.Tlb.hit_rate_opt t = None);
+  let c = Hw.Cache.create ~name:"c" ~lines:4 () in
+  Alcotest.(check bool) "cache none" true (Hw.Cache.hit_rate_opt c = None);
+  Alcotest.(check string) "nan" "-" (Report.percent (0. /. 0.));
+  Alcotest.(check string) "inf" "-" (Report.percent (1. /. 0.));
+  Alcotest.(check string) "opt none" "-" (Report.percent_opt None);
+  Alcotest.(check string) "opt some" "50%" (Report.percent_opt (Some 0.5))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_profiler_invisible;
+    Alcotest.test_case "sampler state round-trips exactly" `Quick test_sampler_roundtrip;
+    Alcotest.test_case "checkpoint/rearm replay renders identically" `Quick
+      test_replay_identical;
+    Alcotest.test_case "tlb sweep is -j invariant" `Slow test_sweep_jobs_invariant;
+    Alcotest.test_case "golden profile report (ctxsw, rate 64)" `Quick
+      test_golden_profile;
+    Alcotest.test_case "lru keeps touched entries, fifo does not" `Quick
+      test_lru_keeps_touched;
+    Alcotest.test_case "lru survives a hot lookup loop" `Quick test_lru_hot_loop;
+    Alcotest.test_case "zero-access hit rates render as '-'" `Quick test_hit_rate_guards;
+  ]

@@ -100,7 +100,7 @@ let prop_tlb_capacity =
   Test.make ~name:"tlb never exceeds capacity; latest insert wins" ~count:500
     (make Gen.(list_size (int_range 1 200) gen_tlb_op))
     (fun ops ->
-      let tlb = Hw.Tlb.create ~name:"prop" ~capacity:8 in
+      let tlb = Hw.Tlb.create ~name:"prop" ~capacity:8 () in
       let model = Hashtbl.create 16 in
       List.for_all
         (fun op ->
