@@ -292,6 +292,23 @@ let limitations () =
      attacks and code-reuse attacks require complements (ASLR, CFI), and programs\n\
      that legitimately execute what they write cannot run split (S7).@."
 
+(* --- defense x attack matrix (lib/reuse) --------------------------------- *)
+
+(* The §7 cross-product made a table: injection representatives plus the
+   code-reuse attacks against every defense configuration. Every cell is
+   an independent machine fanned over the fleet; submission-order results
+   keep the rendered bytes identical at any -j. Exits non-zero on any
+   cell the threat model does not predict — the CI gate that pins
+   "reuse escapes split alone" and "CFI stops it, alone or composed". *)
+let matrix_exp () =
+  out "Defense x attack matrix (injection vs code reuse, paper §7):";
+  let cells = Reuse.Campaign.matrix ~jobs:!jobs () in
+  out "%s" (Fmt.str "%a" Reuse.Campaign.render cells);
+  if not (Reuse.Campaign.check cells) then begin
+    Fmt.epr "matrix deviates from the threat model@.";
+    exit 1
+  end
+
 (* --- Bechamel microbenchmarks (wall-clock of the simulator itself) ------ *)
 
 let micro () =
@@ -536,13 +553,12 @@ let profile_exp () =
    per-run counters (with per-job wall-clock), the fleet's own stats and
    the merged metrics registry as one JSON document.
 
-   Schema split-memory-bench/4: everything /3 had (which stacked "jobs",
-   per-benchmark "wall_us", the "fleet" object and the "alloc" object on
-   top of /1), plus the "inject" object: the seed-7 fault-injection
-   campaign's per-plan verdicts and the detected/masked/escaped/clean
-   tally from lib/inject's differential no-fault oracle. Earlier
-   consumers keep working: existing fields are unchanged, additions are
-   additive. *)
+   Schema split-memory-bench/5: everything /4 had (which stacked the
+   "inject" object on /3's "jobs", per-benchmark "wall_us", "fleet" and
+   "alloc"), plus the "matrix" object: every defense x attack cell of the
+   lib/reuse campaign (outcome, expected escape, verdict) and the
+   whole-grid check. Earlier consumers keep working: existing fields are
+   unchanged, additions are additive. *)
 (* Current git revision, read straight from .git (no subprocess): HEAD is
    either a hash or a "ref: ..." pointer into refs/ or packed-refs. *)
 let git_rev () =
@@ -717,15 +733,40 @@ let json_bench file =
                verdicts) );
       ]
   in
+  let matrix_json =
+    let cells = Reuse.Campaign.matrix ~jobs:!jobs () in
+    J.Obj
+      [
+        ("check", J.Bool (Reuse.Campaign.check cells));
+        ( "cells",
+          J.List
+            (List.map
+               (fun (c : Reuse.Campaign.cell) ->
+                 J.Obj
+                   [
+                     ("attack", J.Str c.attack);
+                     ("defense", J.Str c.defense);
+                     ( "outcome",
+                       J.Str
+                         (match c.result with
+                         | Ok o -> Attack.Runner.outcome_name o
+                         | Error e -> "error: " ^ e) );
+                     ("expected_escape", J.Bool c.expected);
+                     ("ok", J.Bool (Reuse.Campaign.cell_ok c));
+                   ])
+               cells) );
+      ]
+  in
   let doc =
     J.Obj
       [
-        ("schema", J.Str "split-memory-bench/4");
+        ("schema", J.Str "split-memory-bench/5");
         ("jobs", J.Int !jobs);
         ("benchmarks", J.List runs);
         ("fleet", fleet_json);
         ("alloc", alloc_json);
         ("inject", inject_json);
+        ("matrix", matrix_json);
         ("metrics", Obs.Metrics.to_json (Obs.snapshot obs));
       ]
   in
@@ -747,7 +788,8 @@ let all_reproduction () =
   fig8 ();
   fig9 ();
   ablation ();
-  limitations ()
+  limitations ();
+  matrix_exp ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -778,6 +820,7 @@ let () =
     | "fig9" -> fig9 ()
     | "ablation" -> ablation ()
     | "limitations" -> limitations ()
+    | "matrix" -> matrix_exp ()
     | "micro" -> micro ()
     | "profile" -> profile_exp ()
     | "snap" -> snap_exp ()

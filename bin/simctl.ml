@@ -4,6 +4,16 @@
 
 open Cmdliner
 
+(* Every subcommand failure — bad flag values, unusable input files,
+   gate violations — funnels through this one printer: same prefix, same
+   stream, same nonzero exit for each of them. *)
+let die fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "simctl: %s@." msg;
+      exit 1)
+    fmt
+
 let defense_conv =
   let parse = function
     | "none" | "unprotected" -> Ok Defense.unprotected
@@ -464,12 +474,8 @@ let save_snapshot ~obs ~file snap =
 let load_snapshot file =
   try Snap.Snapshot.load file
   with
-  | Sys_error msg ->
-    Fmt.epr "simctl: cannot read snapshot: %s@." msg;
-    exit 1
-  | Snap.Codec.Corrupt msg ->
-    Fmt.epr "simctl: %s is not a valid snapshot: %s@." file msg;
-    exit 1
+  | Sys_error msg -> die "cannot read snapshot: %s" msg
+  | Snap.Codec.Corrupt msg -> die "%s is not a valid snapshot: %s" file msg
 
 let snap_file_arg =
   Arg.(
@@ -528,10 +534,9 @@ let restore_cmd =
       Option.bind (Snap.Snapshot.find_meta snap "scenario") Snap.Scenario.find
     with
     | None ->
-      Fmt.epr "simctl: snapshot %s names no known scenario (meta: %a)@." file
+      die "snapshot %s names no known scenario (meta: %a)" file
         Fmt.(list ~sep:comma (pair ~sep:(any "=") string string))
-        (Snap.Snapshot.meta snap);
-      exit 1
+        (Snap.Snapshot.meta snap)
     | Some scenario ->
       let obs = make_obs ~metrics ~trace ~chrome in
       let os = scenario.start ~obs () in
@@ -609,9 +614,7 @@ let diff_cmd =
     let captures = Snap.Forensics.arm ?dir os in
     ignore (Kernel.Os.run ~fuel:2_000_000 os : Kernel.Os.stop_reason);
     match !captures with
-    | [] ->
-      Fmt.epr "simctl: scenario %s triggered no injection detection@." scenario.name;
-      exit 1
+    | [] -> die "scenario %s triggered no injection detection" scenario.name
     | cs ->
       List.iter
         (fun (c : Snap.Forensics.capture) ->
@@ -657,23 +660,29 @@ let inject_cmd =
       & info [ "seeds" ] ~docv:"K"
           ~doc:"Run $(docv) consecutive seeds starting at $(b,--seed).")
   in
-  let run metrics trace chrome seed seeds jobs =
-    if seeds < 1 then begin
-      Fmt.epr "simctl: --seeds must be at least 1@.";
-      exit 1
-    end;
+  let suite_arg =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("reuse", `Reuse); ("all", `All) ]) `Default
+      & info [ "suite" ] ~docv:"SUITE"
+          ~doc:
+            "Plan suite: $(b,default) (benign + attack-break), $(b,reuse) (the \
+             code-reuse defense x attack scenarios), or $(b,all).")
+  in
+  let run metrics trace chrome seed seeds suite jobs =
+    if seeds < 1 then die "--seeds must be at least 1";
     let obs = make_obs ~metrics ~trace ~chrome in
-    let plans =
-      List.concat_map (fun i -> Inject.default_plans ~seed:(seed + i) ())
-        (List.init seeds Fun.id)
+    let plans_for seed =
+      match suite with
+      | `Default -> Inject.default_plans ~seed ()
+      | `Reuse -> Inject.reuse_plans ~seed ()
+      | `All -> Inject.default_plans ~seed () @ Inject.reuse_plans ~seed ()
     in
+    let plans = List.concat_map (fun i -> plans_for (seed + i)) (List.init seeds Fun.id) in
     let verdicts = Inject.campaign ~obs ?jobs plans in
     print_string (Inject.summary_string verdicts);
     finish_obs obs ~metrics ~trace ~chrome;
-    if Inject.escaped verdicts <> [] then begin
-      Fmt.epr "simctl: campaign has escaped faults@.";
-      exit 1
-    end
+    if Inject.escaped verdicts <> [] then die "campaign has escaped faults"
   in
   Cmd.v
     (Cmd.info "inject"
@@ -684,7 +693,60 @@ let inject_cmd =
           for every seed set at any $(b,-j).")
     Term.(
       const run $ metrics_arg $ trace_arg $ chrome_arg $ seed_arg $ seeds_arg
-      $ jobs_arg)
+      $ suite_arg $ jobs_arg)
+
+(* reuse command (lib/reuse): gadget scanner, chain builder, matrix *)
+
+let reuse_cmd =
+  let mode_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum [ ("gadgets", `Gadgets); ("chain", `Chain); ("matrix", `Matrix) ]))
+          None
+      & info [] ~docv:"MODE"
+          ~doc:
+            "$(b,gadgets) lists every gadget the scanner finds in the victim's \
+             text; $(b,chain) prints the execve ROP chain built from them; \
+             $(b,matrix) runs the full defense x attack grid.")
+  in
+  let max_insns_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-insns" ] ~docv:"N"
+          ~doc:"Longest gadget (instructions, terminator included) to index.")
+  in
+  let run jobs max_insns mode =
+    if max_insns < 1 then die "--max-insns must be at least 1";
+    let img = Reuse.Victim.image () in
+    match mode with
+    | `Gadgets ->
+      let gs = Reuse.Gadget.scan_image ~max_insns img in
+      List.iter (fun g -> Fmt.pr "%a@." Reuse.Gadget.pp g) gs;
+      Fmt.pr "%d gadgets in %s (every byte offset of the shipped text)@."
+        (List.length gs) img.Kernel.Image.name
+    | `Chain ->
+      let chain = Reuse.Campaign.chain_for img in
+      Fmt.pr "%a" Reuse.Chain.pp chain;
+      Fmt.pr "%d stack words, %d bytes on the wire, no 0x0a anywhere@."
+        (List.length (Reuse.Chain.words chain))
+        (String.length (Reuse.Chain.to_bytes chain))
+    | `Matrix ->
+      let cells = Reuse.Campaign.matrix ?jobs () in
+      Reuse.Campaign.render Fmt.stdout cells;
+      if not (Reuse.Campaign.check cells) then
+        die "matrix deviates from the threat model (see ** cells)"
+  in
+  Cmd.v
+    (Cmd.info "reuse"
+       ~doc:
+         "Code-reuse attacks (paper §7): scan the victim image for gadgets, build \
+          the execve chain, or run the defense x attack matrix — injection stopped \
+          by split memory, ROP/ret2libtext escaping it, both stopped by CFI. \
+          $(b,matrix) exits non-zero on any cell the threat model does not \
+          predict; its table is identical at any $(b,-j).")
+    Term.(const run $ jobs_arg $ max_insns_arg $ mode_arg)
 
 (* profile command (lib/prof): address-sampling profiler over a workload *)
 
@@ -796,10 +858,7 @@ let profile_cmd =
              match byte-for-byte.")
   in
   let run defense jobs rate heatmap wset persist hot csv bench replay fuel workloads =
-    if rate < 1 then begin
-      Fmt.epr "simctl: --rate must be at least 1@.";
-      exit 1
-    end;
+    if rate < 1 then die "--rate must be at least 1";
     if bench then begin
       let rows = Prof.Experiments.tlb_sweep ?jobs ~rate ~defense () in
       print_string (Prof.Experiments.render_tlb_sweep rows);
@@ -873,6 +932,7 @@ let main =
       replay_cmd;
       diff_cmd;
       inject_cmd;
+      reuse_cmd;
       profile_cmd;
     ]
 

@@ -257,4 +257,5 @@ let protection ?(policy = Policy.All_pages) ?(response = Response.Break) ?(nx = 
     on_debug_trap;
     on_invalid_opcode;
     on_tlb_fill;
+    ctrl_monitor = None;
   }

@@ -1,4 +1,5 @@
 module Nx_bit = Nx_bit
+module Cfi = Cfi
 
 type t =
   | Unprotected
@@ -10,6 +11,7 @@ type t =
       nx : bool;
       mechanism : Split_memory.mechanism;
     }
+  | Cfi_over of { underlying : t; shadow_stack : bool; coarse : bool }
 
 let unprotected = Unprotected
 let unprotected_soft_tlb = Unprotected_soft_tlb
@@ -34,20 +36,30 @@ let split_with ?(policy = Split_memory.Policy.All_pages) ?(response = Split_memo
     ?(nx = false) ?(mechanism = Split_memory.Tlb_desync) () =
   Split { policy; response; nx; mechanism }
 
-let to_protection = function
+let cfi_over ?(shadow_stack = true) ?(coarse = true) underlying =
+  Cfi_over { underlying; shadow_stack; coarse }
+
+let cfi = cfi_over Unprotected
+let split_plus_cfi = cfi_over split_standalone
+
+let rec to_protection = function
   | Unprotected | Unprotected_soft_tlb -> Kernel.Protection.none
   | Nx -> Nx_bit.protection ()
   | Split { policy; response; nx; mechanism } ->
     Split_memory.protection ~policy ~response ~nx ~mechanism ()
+  | Cfi_over { underlying; shadow_stack; coarse } ->
+    Cfi.protection ~shadow_stack ~coarse ~over:(to_protection underlying) ()
 
 (* The hardware the defense assumes: §4.7's port runs on a machine whose
-   TLB misses trap to the OS instead of a hardware walker. *)
-let tlb_fill = function
+   TLB misses trap to the OS instead of a hardware walker. CFI is a pure
+   kernel monitor and inherits whatever its underlying defense needs. *)
+let rec tlb_fill = function
   | Split { mechanism = Split_memory.Soft_tlb; _ } | Unprotected_soft_tlb ->
     Hw.Mmu.Software_fill
   | Unprotected | Nx | Split _ -> Hw.Mmu.Hardware_walk
+  | Cfi_over { underlying; _ } -> tlb_fill underlying
 
 let name t =
   match t with
   | Unprotected_soft_tlb -> "unprotected(soft-tlb)"
-  | Unprotected | Nx | Split _ -> (to_protection t).Kernel.Protection.name
+  | Unprotected | Nx | Split _ | Cfi_over _ -> (to_protection t).Kernel.Protection.name

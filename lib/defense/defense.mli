@@ -1,6 +1,7 @@
 (** The protection configurations compared throughout the evaluation. *)
 
 module Nx_bit = Nx_bit
+module Cfi = Cfi
 
 type t =
   | Unprotected
@@ -13,6 +14,8 @@ type t =
       nx : bool;
       mechanism : Split_memory.mechanism;
     }
+  | Cfi_over of { underlying : t; shadow_stack : bool; coarse : bool }
+      (** shadow stack + coarse CFI layered over any other defense *)
 
 val unprotected : t
 val unprotected_soft_tlb : t
@@ -41,6 +44,18 @@ val split_with :
   ?mechanism:Split_memory.mechanism ->
   unit ->
   t
+
+val cfi_over : ?shadow_stack:bool -> ?coarse:bool -> t -> t
+(** Layer shadow stack + coarse CFI over another defense; the underlying
+    defense keeps all its paging behavior and the CFI monitor takes the
+    control-transfer slot. *)
+
+val cfi : t
+(** Shadow stack + coarse CFI alone (over the stock kernel). *)
+
+val split_plus_cfi : t
+(** The composition the evaluation recommends: split memory against code
+    injection plus CFI against code reuse. *)
 
 val to_protection : t -> Kernel.Protection.t
 

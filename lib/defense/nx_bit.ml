@@ -40,4 +40,5 @@ let protection () : Kernel.Protection.t =
     on_debug_trap = (fun _ _ -> false);
     on_invalid_opcode = (fun _ _ ~eip:_ ~opcode:_ -> Kernel.Protection.Benign);
     on_tlb_fill;
+    ctrl_monitor = None;
   }

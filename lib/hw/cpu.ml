@@ -18,6 +18,15 @@ let set r reg v = r.gpr.(Isa.Reg.to_int reg) <- mask32 v
 
 type event = Retired | Syscall of int
 
+(* The four control-transfer shapes a CFI monitor distinguishes. *)
+type ctrl_kind = Call_direct | Call_indirect | Return | Jump_indirect
+
+let ctrl_kind_name = function
+  | Call_direct -> "call"
+  | Call_indirect -> "call*"
+  | Return -> "ret"
+  | Jump_indirect -> "jmp*"
+
 type fault =
   | Page of Mmu.fault
   | Invalid_opcode of { eip : int; opcode : int }
@@ -49,7 +58,7 @@ let set_flags_signed r diff =
    access of the instruction has succeeded, so a faulting instruction can be
    transparently restarted after the kernel services the fault — the
    restart-after-page-fault semantics Algorithms 1 and 2 depend on. *)
-let step mmu (r : regs) =
+let step ?ctrl mmu (r : regs) =
   let tf_at_start = r.tf in
   let exec () =
     let eip = r.eip in
@@ -58,6 +67,9 @@ let step mmu (r : regs) =
     | Error (Isa.Decode.Bad_opcode op) -> Error (Invalid_opcode { eip; opcode = op })
     | Error (Isa.Decode.Bad_register v) ->
       Error (General_protection (Fmt.str "bad register field %d at eip=0x%08x" v eip))
+    | Error Isa.Decode.Truncated ->
+      (* unreachable: the fetch-callback decoder has no end-of-stream *)
+      Error (Invalid_opcode { eip; opcode = -1 })
     | Ok insn -> (
       let next = eip + Isa.Insn.size insn in
       let rd32 a = Mmu.read32_fast mmu ~from_user:true a in
@@ -81,6 +93,23 @@ let step mmu (r : regs) =
         | Isa.Insn.Rel disp -> r.eip <- (if cond then mask32 (next + disp) else next)
         | Isa.Insn.Lbl _ -> assert false);
         Ok Retired
+      in
+      (* Consult the control-transfer monitor (when armed) before the new
+         eip is committed. The monitor runs after every memory access of
+         the instruction, so a page fault cannot restart the instruction
+         past a monitor side effect (a shadow-stack push would otherwise
+         happen twice). A denied transfer surfaces as #GP; the monitor has
+         already logged why. *)
+      let check kind ~target k =
+        match ctrl with
+        | None -> k ()
+        | Some f ->
+          if f ~kind ~site:eip ~target ~ret:next then k ()
+          else
+            Error
+              (General_protection
+                 (Fmt.str "cfi: %s site=0x%08x target=0x%08x" (ctrl_kind_name kind) eip
+                    target))
       in
       match insn with
       | Nop ->
@@ -166,24 +195,30 @@ let step mmu (r : regs) =
       | Jl t -> jump_if r.sf t
       | Jge t -> jump_if (not r.sf) t
       | Jmp_r s ->
-        r.eip <- get r s;
-        Ok Retired
+        let target = get r s in
+        check Jump_indirect ~target (fun () ->
+            r.eip <- target;
+            Ok Retired)
       | Call t ->
         let disp = match t with Isa.Insn.Rel d -> d | Isa.Insn.Lbl _ -> assert false in
+        let target = mask32 (next + disp) in
         push next;
-        r.eip <- mask32 (next + disp);
-        Ok Retired
+        check Call_direct ~target (fun () ->
+            r.eip <- target;
+            Ok Retired)
       | Call_r s ->
         let target = get r s in
         push next;
-        r.eip <- target;
-        Ok Retired
+        check Call_indirect ~target (fun () ->
+            r.eip <- target;
+            Ok Retired)
       | Ret ->
         let sp = get r ESP in
         let v = rd32 sp in
-        set r ESP (sp + 4);
-        r.eip <- v;
-        Ok Retired
+        check Return ~target:v (fun () ->
+            set r ESP (sp + 4);
+            r.eip <- v;
+            Ok Retired)
       | Int 0x80 ->
         r.eip <- next;
         Ok (Syscall (get r EAX))

@@ -22,6 +22,14 @@ type event =
   | Retired  (** instruction completed normally *)
   | Syscall of int  (** [int 0x80] retired; argument is EAX *)
 
+type ctrl_kind =
+  | Call_direct  (** [call rel] *)
+  | Call_indirect  (** [call reg] *)
+  | Return  (** [ret] *)
+  | Jump_indirect  (** [jmp reg] *)
+
+val ctrl_kind_name : ctrl_kind -> string
+
 type fault =
   | Page of Mmu.fault
   | Invalid_opcode of { eip : int; opcode : int }
@@ -38,10 +46,22 @@ type step = {
           ITLB load. A faulting instruction raises no debug trap. *)
 }
 
-val step : Mmu.t -> regs -> step
+val step :
+  ?ctrl:(kind:ctrl_kind -> site:int -> target:int -> ret:int -> bool) ->
+  Mmu.t ->
+  regs ->
+  step
 (** Execute one instruction at [regs.eip]. Register state is committed only
     if every memory access succeeds, so faulting instructions can be
-    restarted. *)
+    restarted.
+
+    [ctrl] is the control-transfer monitor hook (a CFI defense): it is
+    consulted on every [call]/[call reg]/[ret]/[jmp reg] with the site
+    (address of the transfer instruction), the proposed target, and the
+    fall-through address [ret] (the return address a call pushes). It runs
+    after the instruction's memory accesses and before the new eip commits;
+    returning [false] turns the transfer into a #GP. When [ctrl] is absent
+    the step loop is unchanged and allocation-free. *)
 
 val mask32 : int -> int
 val sign32 : int -> int

@@ -164,6 +164,25 @@ let default_plans ?(seed = 7) () =
   @ List.map (on "attack-break")
       [ Plan.Tlb_phantom; Plan.Tlb_wrong_pfn; Plan.Pte_flip; Plan.Frame_flip_code ]
 
+(* The code-reuse extension of the oracle: the same differential twin
+   runs pointed at the defense x attack cross-product scenarios — the ROP
+   chain escaping split memory alone, and the CFI-stopped reuse attacks.
+   The split-bookkeeping classes are the interesting ones: they perturb
+   exactly the paging state those runs traverse, and the oracle proves a
+   hardware fault cannot silently flip a matrix cell (shell where a
+   detection belongs, or vice versa) without the divergence showing. *)
+let reuse_plans ?(seed = 7) () =
+  let on scenario cls =
+    Plan.make
+      ~label:(Fmt.str "%s@%s" (Plan.class_name cls) scenario)
+      ~scenario ~seed ~classes:[ cls ] ()
+  in
+  List.concat_map
+    (fun scenario ->
+      List.map (on scenario)
+        [ Plan.Tlb_phantom; Plan.Tlb_wrong_pfn; Plan.Pte_flip; Plan.Frame_flip_code ])
+    [ "reuse-rop"; "reuse-rop-cfi"; "reuse-fptr-cfi" ]
+
 let escaped verdicts = List.filter (fun v -> v.v_outcome = Escaped) verdicts
 
 let tally verdicts =

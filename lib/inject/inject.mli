@@ -57,6 +57,11 @@ val default_plans : ?seed:int -> unit -> Plan.t list
 (** The CI campaign: one single-class plan per fault class on ["benign"],
     plus the split-bookkeeping classes on ["attack-break"] (12 plans). *)
 
+val reuse_plans : ?seed:int -> unit -> Plan.t list
+(** The code-reuse extension: the split-bookkeeping classes against the
+    ["reuse-*"] scenarios (escaping ROP under split alone, CFI-detected
+    reuse), 12 plans — the oracle over the defense x attack matrix. *)
+
 val escaped : verdict list -> verdict list
 val tally : verdict list -> int * int * int * int
 (** (detected, masked, escaped, clean). *)

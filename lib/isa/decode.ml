@@ -1,4 +1,4 @@
-type error = Bad_opcode of int | Bad_register of int
+type error = Bad_opcode of int | Bad_register of int | Truncated
 
 let sign32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
 
@@ -48,6 +48,22 @@ let decode ~fetch pc =
   | 0xCD -> Ok (Insn.Int (u8 1))
   | op -> Error (Bad_opcode op)
 
+(* A gadget scanner walks decode across every byte offset of an image, so
+   this must be total: an instruction whose operands would extend past the
+   end of the string is reported as [Truncated], never silently decoded
+   from phantom zero bytes and never an out-of-bounds access. *)
 let of_string s pos =
-  let fetch i = if i < String.length s then Char.code s.[i] else 0 in
-  decode ~fetch pos
+  let len = String.length s in
+  if pos < 0 || pos >= len then Error Truncated
+  else begin
+    let past_end = ref false in
+    let fetch i =
+      if i < len then Char.code s.[i]
+      else begin
+        past_end := true;
+        0
+      end
+    in
+    let r = decode ~fetch pos in
+    if !past_end then Error Truncated else r
+  end

@@ -3,6 +3,10 @@
 type error =
   | Bad_opcode of int  (** undefined opcode — an invalid-opcode fault *)
   | Bad_register of int  (** register field outside 0..7 *)
+  | Truncated
+      (** the instruction extends past the end of the byte string — only
+          reported by {!of_string}; a fetch-callback decode faults in
+          [fetch] instead *)
 
 val decode : fetch:(int -> int) -> int -> (Insn.t, error) result
 (** [decode ~fetch pc] decodes the instruction at address [pc]. Each byte is
@@ -11,8 +15,9 @@ val decode : fetch:(int -> int) -> int -> (Insn.t, error) result
     instruction fetch. Relative targets are sign-extended. *)
 
 val of_string : string -> int -> (Insn.t, error) result
-(** Decode from a raw byte string at the given offset; out-of-range bytes
-    read as zero. *)
+(** Decode from a raw byte string at the given offset. Total over every
+    offset: an instruction that would read past the end of the string is
+    [Error Truncated]. *)
 
 val sign32 : int -> int
 (** Interpret a 32-bit value as a signed two's-complement integer. *)

@@ -16,6 +16,7 @@ let pp_line ~base ppf (off, r) =
   | Ok insn -> Fmt.pf ppf "%08x:  %a" (base + off) Insn.pp insn
   | Error (Decode.Bad_opcode op) -> Fmt.pf ppf "%08x:  (bad opcode 0x%02x)" (base + off) op
   | Error (Decode.Bad_register v) -> Fmt.pf ppf "%08x:  (bad register %d)" (base + off) v
+  | Error Decode.Truncated -> Fmt.pf ppf "%08x:  (truncated)" (base + off)
 
 let to_string ?(base = 0) ?max_insns bytes ~pos ~len =
   region ?max_insns bytes ~pos ~len

@@ -28,6 +28,15 @@ type t = {
   on_debug_trap : ctx -> Proc.t -> bool;
   on_invalid_opcode : ctx -> Proc.t -> eip:int -> opcode:int -> opcode_verdict;
   on_tlb_fill : ctx -> Proc.t -> Hw.Mmu.fault -> Pte.t -> fill_verdict;
+  ctrl_monitor :
+    (ctx ->
+    Proc.t ->
+    kind:Hw.Cpu.ctrl_kind ->
+    site:int ->
+    target:int ->
+    ret:int ->
+    bool)
+    option;
 }
 
 let none =
@@ -40,4 +49,5 @@ let none =
     on_debug_trap = (fun _ _ -> false);
     on_invalid_opcode = (fun _ _ ~eip:_ ~opcode:_ -> Benign);
     on_tlb_fill = (fun _ _ _ _ -> Default_fill);
+    ctrl_monitor = None;
   }

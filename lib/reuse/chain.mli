@@ -1,0 +1,31 @@
+(** Deterministic ROP / return-into-libtext chain builder over a scanned
+    gadget index. Chains are pure data laid over the victim's stack; no
+    attacker-written byte is ever fetched as code. *)
+
+exception No_gadget of string
+(** The image does not carry a gadget the chain needs. *)
+
+type slot = Gadget of Gadget.t | Value of int
+
+type t = { slots : slot list }
+
+val words : t -> int list
+(** The 32-bit stack words, bottom (first consumed) first. *)
+
+val to_bytes : t -> string
+(** Little-endian serialization — what the exploit writes over the
+    stack. *)
+
+val contains_newline : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val execve_exit : gadgets:Gadget.t list -> sh_addr:int -> t
+(** execve("/bin/sh") then exit(0), built from [pop ebx]/[pop eax]/
+    [int 0x80] ret-gadgets. [sh_addr] is the address of a "/bin/sh"
+    string already present in the image.
+    @raise No_gadget when a required gadget is missing.
+    @raise Invalid_argument when the chain would contain 0x0a. *)
+
+val ret_into : target:int -> t
+(** The one-slot return-into-existing-code chain. *)

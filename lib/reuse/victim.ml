@@ -1,0 +1,133 @@
+open Isa.Asm
+
+(* The code-reuse victim: a network daemon with the same gets()-style
+   copy bug as the Wilander victims, but attacked without injecting a
+   single instruction byte.
+
+   The image deliberately looks like real compiled output:
+
+   - a checksum routine whose 16-byte-aligned blocks load large protocol
+     constants — and on a variable-length ISA those immediates decode,
+     two bytes in, to [pop ebx; ret] / [pop eax; ret] / [int 0x80; ret].
+     Unintended gadgets, present in the shipped text, written by nobody
+     at runtime;
+   - a privileged [maintenance] routine (execve("/bin/sh") then exit) that
+     normal control flow never reaches — the return-into-libtext target;
+   - a function pointer in data ([gfptr]) dispatching a handler, giving
+     the fptr-clobber variant.
+
+   The aligned blocks are jumped into (the padding bytes are zero and
+   must never be executed), exactly how compilers align loop heads. The
+   alignment also keeps every gadget address at 16k+2, so no address
+   byte can be 0x0A — the one byte the copy loop would stop at. *)
+
+(* The three constants carrying gadgets at immediate offset +2:
+   bytes 08 03 32 = pop ebx; ret   08 00 32 = pop eax; ret
+   bytes CD 80 32 = int 0x80; ret *)
+let const_pop_ebx = 0x00320308
+let const_pop_eax = 0x00320008
+let const_syscall = 0x003280CD
+
+(* Selector protocol: first byte picks the handler. *)
+let sel_stack = "\000" (* frame-copy path: vulnerable [vuln] *)
+let sel_fptr = "\001" (* dispatch path: copy into gbuf, call [gfptr] *)
+
+let image () =
+  Kernel.Image.build ~name:"reuse-victim"
+    ~data:(fun ~lbl ->
+      [
+        L "sh";
+        Bytes "/bin/sh\000";
+        Align 16;
+        L "sel";
+        Space 1;
+        Align 16;
+        L "pkt";
+        Space 512;
+        Align 16;
+        L "gbuf";
+        Space 64;
+        L "gfptr";
+        Word32 (lbl "benign");
+        L "done_msg";
+        Bytes "DONE";
+      ])
+    ~code:(fun ~lbl ->
+      [ L "main"; I (Push EBP); I (Mov_rr (EBP, ESP)); I (Add_ri (ESP, -1024)) ]
+      @ Guest.sys_read_imm ~buf:(lbl "sel") ~len:1
+      @ Guest.sys_read_imm ~buf:(lbl "pkt") ~len:512
+      @ [
+          I (Call (Lbl "checksum"));
+          I (Mov_ri (ESI, lbl "sel"));
+          I (Loadb (EAX, ESI, 0));
+          I (Cmp_ri (EAX, 1));
+          I (Jz (Lbl "dispatch"));
+          (* default: parse the packet in a stack frame *)
+          I (Mov_ri (EAX, lbl "pkt"));
+          I (Push EAX);
+          I (Call (Lbl "vuln"));
+          I (Add_ri (ESP, 4));
+          I (Jmp (Lbl "finish"));
+          (* handler dispatch through the data function pointer *)
+          L "dispatch";
+          I (Mov_ri (ESI, lbl "pkt"));
+          I (Mov_ri (EDI, lbl "gbuf"));
+        ]
+      @ Guest.copy_until_newline ~tag:"dsp"
+      @ [
+          I (Mov_ri (ESI, lbl "gfptr"));
+          I (Load (EAX, ESI, 0));
+          I (Call_r EAX);
+          L "finish";
+        ]
+      @ Guest.sys_write_imm ~buf:(lbl "done_msg") ~len:4 ()
+      @ Guest.sys_exit 0
+      @ [ L "benign"; I Ret ]
+      @ [
+          L "vuln";
+          I (Push EBP);
+          I (Mov_rr (EBP, ESP));
+          I (Add_ri (ESP, -64));
+          I (Load (ESI, EBP, 8));
+          I (Lea (EDI, EBP, -64));
+        ]
+      @ Guest.copy_until_newline ~tag:"vuln"
+      @ [ I (Mov_rr (ESP, EBP)); I (Pop EBP); I Ret ]
+      @ [
+          (* Packet checksum over protocol magic constants; the aligned
+             blocks are entered by jump, never by fall-through (the
+             alignment padding is not code). *)
+          L "checksum";
+          I (Mov_ri (EAX, 0));
+          I (Jmp (Lbl "ck1"));
+          Align 16;
+          L "ck1";
+          I (Mov_ri (EDX, const_pop_ebx));
+          I (Add (EAX, EDX));
+          I (Jmp (Lbl "ck2"));
+          Align 16;
+          L "ck2";
+          I (Mov_ri (EDX, const_pop_eax));
+          I (Xor (EAX, EDX));
+          I (Jmp (Lbl "ck3"));
+          Align 16;
+          L "ck3";
+          I (Mov_ri (EDX, const_syscall));
+          I (Add (EAX, EDX));
+          I Ret;
+        ]
+      @ [
+          (* Privileged maintenance mode: spawns a shell then exits.
+             Dead code on every legitimate path — no call, no jump, no
+             address-taken reference — but it ships on the code pages,
+             and that is all return-into-libtext needs. *)
+          Align 16;
+          L "maintenance";
+          I (Mov_ri (EBX, lbl "sh"));
+          I (Mov_ri (EAX, 11));
+          I (Int 0x80);
+          I (Mov_ri (EAX, 1));
+          I (Mov_ri (EBX, 0));
+          I (Int 0x80);
+        ])
+    ~entry:"main" ()

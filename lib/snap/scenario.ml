@@ -84,6 +84,23 @@ let attack ~name ~descr ~response =
         start_with ~defense ~image:victim ~input:(Some injected_payload) ?obs ());
   }
 
+(* Code-reuse scenarios: the same snapshot/replay machinery pointed at
+   attacks that never inject a byte. The exploit input is fully
+   self-driving (the text layout is static, so no leak step), which lets
+   a checkpoint land anywhere — including between corruption and
+   detonation — and still reach the same verdict. *)
+let reuse ~name ~descr ~defense attack =
+  {
+    name;
+    descr;
+    defense;
+    start =
+      (fun ?obs () ->
+        let img = Reuse.Victim.image () in
+        let input = Reuse.Campaign.packet img attack in
+        start_with ~defense ~image:img ~input:(Some input) ?obs ());
+  }
+
 let all =
   [
     (let defense = Defense.split_standalone in
@@ -103,6 +120,15 @@ let all =
     attack ~name:"attack-observe"
       ~descr:"shellcode injection, Observe response with Sebek tracing"
       ~response:(Split_memory.Response.Observe { sebek = true });
+    reuse ~name:"reuse-rop"
+      ~descr:"ROP chain under split memory alone — escapes (paper §7)"
+      ~defense:Defense.split_standalone Reuse.Campaign.Rop_chain;
+    reuse ~name:"reuse-rop-cfi"
+      ~descr:"the same ROP chain under split memory + CFI — detected"
+      ~defense:Defense.split_plus_cfi Reuse.Campaign.Rop_chain;
+    reuse ~name:"reuse-fptr-cfi"
+      ~descr:"function-pointer clobber into existing text under CFI alone"
+      ~defense:Defense.cfi Reuse.Campaign.Fptr_clobber;
   ]
 
 let names = List.map (fun s -> s.name) all

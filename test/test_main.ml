@@ -26,5 +26,6 @@ let () =
       ("snap", Test_snap.suite);
       ("trap", Test_trap.suite);
       ("inject", Test_inject.suite);
+      ("reuse", Test_reuse.suite);
       ("prof", Test_prof.suite);
     ]
