@@ -536,6 +536,108 @@ let alloc_gate baseline_file =
     (alloc_numbers ());
   if !failures > 0 then exit 1
 
+(* --- decoded-block-cache throughput (lib/hw/bbcache) --------------------- *)
+
+(* The block cache is a pure dispatch optimization — provably equivalent
+   (the test suite diffs event logs and counters on vs off) — so the only
+   number that matters here is wall-clock. Workloads are the same two the
+   allocation gate watches: the README quickstart and the TLB-flush-heavy
+   fig7 context-switch stress. *)
+
+let bbcache_specs () =
+  [
+    ( "quickstart",
+      Workload.Harness.single ~defense:Defense.split_standalone (quickstart_image ()) );
+    ("fig7_ctxsw", Workload.Figures.ctxsw_spec ~defense:Defense.split_standalone ~iters:250);
+  ]
+
+(* Run one spec with the cache forced on or off, returning the machine (its
+   cache stats are read afterwards) and the run's wall-clock in
+   microseconds — machine construction excluded, like the alloc gate. *)
+let timed_run ~bbcache (s : Workload.Harness.spec) =
+  let saved = !Kernel.Machine.bbcache_default in
+  Kernel.Machine.bbcache_default := bbcache;
+  Fun.protect
+    ~finally:(fun () -> Kernel.Machine.bbcache_default := saved)
+    (fun () ->
+      let k = Workload.Harness.build s in
+      let t0 = Unix.gettimeofday () in
+      ignore (Kernel.Os.run ~fuel:s.fuel k : Kernel.Os.stop_reason);
+      (k, int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)))
+
+(* Best-of-N wall-clock: the minimum is the run least disturbed by the
+   host, the standard discipline for gating on timing. *)
+let best_us ~bbcache ?(n = 3) s =
+  let rec go best k i =
+    if i >= n then (k, best)
+    else
+      let k', us = timed_run ~bbcache s in
+      if us < best then go us k' (i + 1) else go best k (i + 1)
+  in
+  let k0, us0 = timed_run ~bbcache s in
+  go us0 k0 1
+
+let bbcache_measure s =
+  let k_on, us_on = best_us ~bbcache:true s in
+  let _, us_off = best_us ~bbcache:false s in
+  let stats =
+    match Kernel.Os.bbcache k_on with
+    | Some c -> Hw.Bbcache.stats c
+    | None -> assert false (* just built with ~bbcache:true *)
+  in
+  let ipb =
+    match Kernel.Os.bbcache k_on with Some c -> Hw.Bbcache.insns_per_block c | None -> 0.0
+  in
+  (us_on, us_off, stats, ipb)
+
+let bbcache_exp () =
+  out "Decoded basic-block cache: wall-clock with the cache on vs off";
+  out "  (identical simulations — same event logs, cycle counts, outcomes)";
+  List.iter
+    (fun (name, spec) ->
+      let us_on, us_off, (st : Hw.Bbcache.stats), ipb = bbcache_measure spec in
+      out "  %-12s on %8d us   off %8d us   speedup %.2fx" name us_on us_off
+        (float_of_int us_off /. float_of_int us_on);
+      out "  %-12s blocks %d  insns/block %.1f  hits %d  misses %d  invalidations %d" ""
+        st.blocks_built ipb st.hits st.misses st.invalidations)
+    (bbcache_specs ())
+
+(* Gate against a committed floor ("<name> <min_speedup>" lines): fails the
+   process when the cache-on/cache-off wall-clock ratio of any listed
+   workload drops below its floor. Self-relative, so the gate is
+   machine-independent — a slow CI runner slows both sides. *)
+let throughput_gate baseline_file =
+  let baseline =
+    let ic = open_in baseline_file in
+    let rec go acc =
+      match input_line ic with
+      | line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ name; v ] -> go ((name, float_of_string v) :: acc)
+        | _ -> go acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, spec) ->
+      match List.assoc_opt name baseline with
+      | None -> ()
+      | Some floor ->
+        let us_on, us_off, _, _ = bbcache_measure spec in
+        let speedup = float_of_int us_off /. float_of_int us_on in
+        if speedup < floor then begin
+          out "throughput-gate: %-12s REGRESSED: %.2fx on-vs-off speedup (floor %.2fx)" name
+            speedup floor;
+          incr failures
+        end
+        else out "throughput-gate: %-12s ok: %.2fx on-vs-off speedup (floor %.2fx)" name speedup floor)
+    (bbcache_specs ());
+  if !failures > 0 then exit 1
+
 (* --- profiler experiments (lib/prof) ------------------------------------- *)
 
 (* Profile-driven policy tables: the TLB capacity x eviction sweep and the
@@ -553,10 +655,15 @@ let profile_exp () =
    per-run counters (with per-job wall-clock), the fleet's own stats and
    the merged metrics registry as one JSON document.
 
-   Schema split-memory-bench/5: everything /4 had (which stacked the
-   "inject" object on /3's "jobs", per-benchmark "wall_us", "fleet" and
-   "alloc"), plus the "matrix" object: every defense x attack cell of the
-   lib/reuse campaign (outcome, expected escape, verdict) and the
+   Schema split-memory-bench/6: everything /5 had, plus the "bbcache"
+   object — per-workload wall-clock with the decoded-block cache on vs
+   off, the speedup, and the cache's own statistics (hits, misses,
+   invalidations, blocks, insns/block).
+
+   /5 added to /4 (which stacked the "inject" object on /3's "jobs",
+   per-benchmark "wall_us", "fleet" and "alloc") the "matrix" object:
+   every defense x attack cell of the lib/reuse campaign (outcome,
+   expected escape, verdict) and the
    whole-grid check. Earlier consumers keep working: existing fields are
    unchanged, additions are additive. *)
 (* Current git revision, read straight from .git (no subprocess): HEAD is
@@ -603,7 +710,7 @@ let git_rev () =
    repo's history accumulates as JSON-lines without any tooling. *)
 let trajectory_file = "BENCH_split-memory-bench.json"
 
-let append_trajectory results (stats : Fleet.stats) =
+let append_trajectory ~bb_speedups results (stats : Fleet.stats) =
   let module J = Obs.Json in
   let module H = Workload.Harness in
   let benchmarks =
@@ -628,6 +735,10 @@ let append_trajectory results (stats : Fleet.stats) =
         ("schema", J.Str "split-memory-bench-trajectory/1");
         ("rev", J.Str (git_rev ()));
         ("jobs", J.Int !jobs);
+        ("bbcache", J.Bool !Kernel.Machine.bbcache_default);
+        (* on/off wall-clock ratio per gated workload, so the block-cache
+           dividend is tracked across revisions alongside the raw numbers *)
+        ("bbcache_speedup", J.Obj (List.map (fun (n, s) -> (n, J.Float s)) bb_speedups));
         ("fleet_wall_us", J.Int stats.wall_us);
         ("benchmarks", J.List benchmarks);
       ]
@@ -757,16 +868,39 @@ let json_bench file =
                cells) );
       ]
   in
+  let bb_measures =
+    List.map (fun (name, spec) -> (name, bbcache_measure spec)) (bbcache_specs ())
+  in
+  let bbcache_json =
+    J.Obj
+      (("enabled", J.Bool !Kernel.Machine.bbcache_default)
+      :: List.map
+           (fun (name, (us_on, us_off, (st : Hw.Bbcache.stats), ipb)) ->
+             ( name,
+               J.Obj
+                 [
+                   ("wall_us_on", J.Int us_on);
+                   ("wall_us_off", J.Int us_off);
+                   ("speedup", J.Float (float_of_int us_off /. float_of_int us_on));
+                   ("hits", J.Int st.hits);
+                   ("misses", J.Int st.misses);
+                   ("invalidations", J.Int st.invalidations);
+                   ("blocks_built", J.Int st.blocks_built);
+                   ("insns_per_block", J.Float ipb);
+                 ] ))
+           bb_measures)
+  in
   let doc =
     J.Obj
       [
-        ("schema", J.Str "split-memory-bench/5");
+        ("schema", J.Str "split-memory-bench/6");
         ("jobs", J.Int !jobs);
         ("benchmarks", J.List runs);
         ("fleet", fleet_json);
         ("alloc", alloc_json);
         ("inject", inject_json);
         ("matrix", matrix_json);
+        ("bbcache", bbcache_json);
         ("metrics", Obs.Metrics.to_json (Obs.snapshot obs));
       ]
   in
@@ -775,7 +909,12 @@ let json_bench file =
   output_char oc '\n';
   close_out oc;
   out "wrote %s" file;
-  append_trajectory results stats
+  append_trajectory
+    ~bb_speedups:
+      (List.map
+         (fun (n, (us_on, us_off, _, _)) -> (n, float_of_int us_off /. float_of_int us_on))
+         bb_measures)
+    results stats
 
 (* --- driver -------------------------------------------------------------- *)
 
@@ -793,9 +932,14 @@ let all_reproduction () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Strip -j/--jobs N (position-independent) before dispatching. *)
+  (* Strip -j/--jobs N and --no-bbcache (position-independent) before
+     dispatching. --no-bbcache must land before any machine is built —
+     including the worker domains', which read the default at spawn. *)
   let rec strip_jobs = function
     | [] -> []
+    | "--no-bbcache" :: rest ->
+      Kernel.Machine.bbcache_default := false;
+      strip_jobs rest
     | ("-j" | "--jobs") :: n :: rest -> (
       match int_of_string_opt n with
       | Some v when v >= 1 ->
@@ -822,6 +966,7 @@ let () =
     | "limitations" -> limitations ()
     | "matrix" -> matrix_exp ()
     | "micro" -> micro ()
+    | "bbcache" -> bbcache_exp ()
     | "profile" -> profile_exp ()
     | "snap" -> snap_exp ()
     | "alloc" -> alloc ()
@@ -829,18 +974,28 @@ let () =
     | "all" -> all_reproduction ()
     | other -> Fmt.epr "unknown experiment %S@." other
   in
-  match args with
-  | "--json" :: file :: rest ->
-    json_bench file;
-    List.iter dispatch rest
-  | [ "--json" ] ->
-    Fmt.epr "--json needs a FILE argument@.";
-    exit 1
-  | "--alloc-gate" :: file :: rest ->
-    alloc_gate file;
-    List.iter dispatch rest
-  | [ "--alloc-gate" ] ->
-    Fmt.epr "--alloc-gate needs a BASELINE argument@.";
-    exit 1
-  | [] -> all_reproduction ()
-  | args -> List.iter dispatch args
+  let rec run = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json_bench file;
+      run rest
+    | [ "--json" ] ->
+      Fmt.epr "--json needs a FILE argument@.";
+      exit 1
+    | "--alloc-gate" :: file :: rest ->
+      alloc_gate file;
+      run rest
+    | [ "--alloc-gate" ] ->
+      Fmt.epr "--alloc-gate needs a BASELINE argument@.";
+      exit 1
+    | "--throughput-gate" :: file :: rest ->
+      throughput_gate file;
+      run rest
+    | [ "--throughput-gate" ] ->
+      Fmt.epr "--throughput-gate needs a BASELINE argument@.";
+      exit 1
+    | x :: rest ->
+      dispatch x;
+      run rest
+  in
+  match args with [] -> all_reproduction () | args -> run args

@@ -1,0 +1,63 @@
+(** Decoded basic-block cache for the CPU dispatch loop.
+
+    Blocks are keyed by the {e physical} address of their first byte and
+    validated against a per-frame generation counter driven by the
+    {!Phys} write watch, so any mutation of a frame that backs cached
+    blocks (guest self-modifying stores, kernel gadget writes, demand
+    paging into recycled frames, COW copies, snapshot-restore refills)
+    invalidates them. Construction is side-effect-free and page-bounded:
+    decoding stops at — and includes — control transfers, [int], and
+    [hlt] ({!Isa.Insn.is_block_end}), and stops {e before} an instruction
+    that fails to decode or whose operands would cross the page edge.
+
+    The cache stores pre-decoded instructions only; every architectural
+    side effect of fetching them (TLB traffic, walk charges, sampling,
+    icache touches) is replayed by {!Cpu.run_block} at dispatch time, so
+    enabling the cache is observationally invisible. *)
+
+type block = private {
+  b_pa0 : int;  (** packed paddr ([frame * page_size + off]) of byte 0 *)
+  b_frame : int;
+  b_gen : int;
+  insns : Isa.Insn.t array;
+  sizes : int array;
+  offs : int array;  (** byte offset of each instruction from [b_pa0] *)
+  n : int;
+      (** number of decoded instructions; [0] is a negative block — the
+          first instruction is undecodable or straddles the page edge, and
+          dispatch must fall back to the byte-at-a-time interpreter *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable blocks_built : int;
+  mutable insns_built : int;
+}
+
+type t
+
+val create : ?max_block:int -> ?max_blocks:int -> phys:Phys.t -> unit -> t
+(** Create a cache over [phys] and install its {!Phys.set_write_watch}
+    hook (one cache per physical memory). [max_block] (default 128) caps
+    instructions per block; [max_blocks] (default 65536) bounds the table
+    — reaching it clears the cache wholesale, deterministically. *)
+
+val lookup : t -> int -> block
+(** [lookup t pa0] returns the block starting at packed physical address
+    [pa0], building (or rebuilding, if stale) it from the frame's current
+    bytes. *)
+
+val stale : t -> block -> bool
+(** The block's frame was written since it was decoded. Dispatch must
+    check before every instruction, not just at block entry. *)
+
+val generation : t -> int -> int
+(** Current generation of a frame. *)
+
+val clear : t -> unit
+(** Drop all cached blocks (snapshot restore; derived state only). *)
+
+val stats : t -> stats
+val insns_per_block : t -> float

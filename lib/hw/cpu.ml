@@ -19,7 +19,11 @@ let set r reg v = r.gpr.(Isa.Reg.to_int reg) <- mask32 v
 type event = Retired | Syscall of int
 
 (* The four control-transfer shapes a CFI monitor distinguishes. *)
-type ctrl_kind = Call_direct | Call_indirect | Return | Jump_indirect
+type ctrl_kind = Exec_env.ctrl_kind =
+  | Call_direct
+  | Call_indirect
+  | Return
+  | Jump_indirect
 
 let ctrl_kind_name = function
   | Call_direct -> "call"
@@ -54,182 +58,192 @@ let set_flags_signed r diff =
   r.zf <- diff = 0;
   r.sf <- diff < 0
 
-(* One instruction. Register state is only committed once every memory
+(* the MMU already traced its own faults; #UD and #GP surface here *)
+let trace_trap mmu fault =
+  let obs = Mmu.obs mmu in
+  if Obs.enabled obs then
+    Obs.event obs ~cat:"cpu" "cpu.trap"
+      ~args:[ ("fault", Obs.Json.Str (Fmt.str "%a" pp_fault fault)) ]
+
+(* Execute one already-decoded instruction at [eip] whose encoding is
+   [next - eip] bytes. Register state is only committed once every memory
    access of the instruction has succeeded, so a faulting instruction can be
    transparently restarted after the kernel services the fault — the
-   restart-after-page-fault semantics Algorithms 1 and 2 depend on. *)
-let step ?ctrl mmu (r : regs) =
+   restart-after-page-fault semantics Algorithms 1 and 2 depend on. Shared
+   verbatim between the per-instruction interpreter ([step], which decodes
+   first) and the block dispatcher ([run_block], which replays a cached
+   decode), so the two dispatch modes cannot drift. *)
+let exec_insn ~ctrl mmu (r : regs) insn ~eip ~next : (event, fault) result =
+  let rd32 a = Mmu.read32_fast mmu ~from_user:true a in
+  let wr32 a v = Mmu.write32_fast mmu ~from_user:true a v in
+  let rd8 a = Mmu.read8_fast mmu ~from_user:true a in
+  let wr8 a v = Mmu.write8_fast mmu ~from_user:true a v in
+  let push v =
+    let sp = mask32 (get r ESP - 4) in
+    wr32 sp v;
+    set r ESP sp
+  in
+  let binop d s f =
+    let v = f (get r d) (get r s) in
+    set r d v;
+    set_flags r v;
+    r.eip <- next;
+    Ok Retired
+  in
+  let jump_if cond target =
+    (match target with
+    | Isa.Insn.Rel disp -> r.eip <- (if cond then mask32 (next + disp) else next)
+    | Isa.Insn.Lbl _ -> assert false);
+    Ok Retired
+  in
+  (* Consult the control-transfer monitor (when armed) before the new
+     eip is committed. The monitor runs after every memory access of
+     the instruction, so a page fault cannot restart the instruction
+     past a monitor side effect (a shadow-stack push would otherwise
+     happen twice). A denied transfer surfaces as #GP; the monitor has
+     already logged why. *)
+  let check kind ~target k =
+    match ctrl with
+    | None -> k ()
+    | Some f ->
+      if f ~kind ~site:eip ~target ~ret:next then k ()
+      else
+        Error
+          (General_protection
+             (Fmt.str "cfi: %s site=0x%08x target=0x%08x" (ctrl_kind_name kind) eip target))
+  in
+  match (insn : Isa.Insn.t) with
+  | Nop ->
+    r.eip <- next;
+    Ok Retired
+  | Hlt -> Error (General_protection "hlt in user mode")
+  | Mov_ri (d, i) ->
+    set r d i;
+    r.eip <- next;
+    Ok Retired
+  | Mov_rr (d, s) ->
+    set r d (get r s);
+    r.eip <- next;
+    Ok Retired
+  | Load (d, b, off) ->
+    let v = rd32 (get r b + off) in
+    set r d v;
+    r.eip <- next;
+    Ok Retired
+  | Store (b, off, s) ->
+    wr32 (get r b + off) (get r s);
+    r.eip <- next;
+    Ok Retired
+  | Loadb (d, b, off) ->
+    let v = rd8 (get r b + off) in
+    set r d v;
+    r.eip <- next;
+    Ok Retired
+  | Storeb (b, off, s) ->
+    wr8 (get r b + off) (get r s land 0xFF);
+    r.eip <- next;
+    Ok Retired
+  | Push s ->
+    push (get r s);
+    r.eip <- next;
+    Ok Retired
+  | Pop d ->
+    let sp = get r ESP in
+    let v = rd32 sp in
+    set r ESP (sp + 4);
+    set r d v;
+    r.eip <- next;
+    Ok Retired
+  | Lea (d, b, off) ->
+    set r d (get r b + off);
+    r.eip <- next;
+    Ok Retired
+  | Add (d, s) -> binop d s ( + )
+  | Sub (d, s) -> binop d s ( - )
+  | Add_ri (d, i) ->
+    let v = get r d + i in
+    set r d v;
+    set_flags r v;
+    r.eip <- next;
+    Ok Retired
+  | Cmp (a, b) ->
+    set_flags_signed r (sign32 (get r a) - sign32 (get r b));
+    r.eip <- next;
+    Ok Retired
+  | Cmp_ri (a, i) ->
+    set_flags_signed r (sign32 (get r a) - i);
+    r.eip <- next;
+    Ok Retired
+  | And_ (d, s) -> binop d s ( land )
+  | Or_ (d, s) -> binop d s ( lor )
+  | Xor (d, s) -> binop d s ( lxor )
+  | Mul (d, s) -> binop d s ( * )
+  | Shl (d, i) ->
+    let v = get r d lsl (i land 31) in
+    set r d v;
+    set_flags r v;
+    r.eip <- next;
+    Ok Retired
+  | Shr (d, i) ->
+    let v = get r d lsr (i land 31) in
+    set r d v;
+    set_flags r v;
+    r.eip <- next;
+    Ok Retired
+  | Jmp t -> jump_if true t
+  | Jz t -> jump_if r.zf t
+  | Jnz t -> jump_if (not r.zf) t
+  | Jl t -> jump_if r.sf t
+  | Jge t -> jump_if (not r.sf) t
+  | Jmp_r s ->
+    let target = get r s in
+    check Jump_indirect ~target (fun () ->
+        r.eip <- target;
+        Ok Retired)
+  | Call t ->
+    let disp = match t with Isa.Insn.Rel d -> d | Isa.Insn.Lbl _ -> assert false in
+    let target = mask32 (next + disp) in
+    push next;
+    check Call_direct ~target (fun () ->
+        r.eip <- target;
+        Ok Retired)
+  | Call_r s ->
+    let target = get r s in
+    push next;
+    check Call_indirect ~target (fun () ->
+        r.eip <- target;
+        Ok Retired)
+  | Ret ->
+    let sp = get r ESP in
+    let v = rd32 sp in
+    check Return ~target:v (fun () ->
+        set r ESP (sp + 4);
+        r.eip <- v;
+        Ok Retired)
+  | Int 0x80 ->
+    r.eip <- next;
+    Ok (Syscall (get r EAX))
+  | Int n -> Error (General_protection (Fmt.str "int 0x%x unsupported" n))
+
+(* Decode + execute with a caller-chosen fetch for the instruction bytes,
+   then fold exceptions and the trap-flag bit into a [step]. The shared
+   tail of both [step] and the block dispatcher's fallback path. *)
+let step_with ~ctrl ~fetch mmu (r : regs) =
   let tf_at_start = r.tf in
   let exec () =
     let eip = r.eip in
-    let fetch a = Mmu.fetch8_fast mmu ~from_user:true a in
     match Isa.Decode.decode ~fetch eip with
     | Error (Isa.Decode.Bad_opcode op) -> Error (Invalid_opcode { eip; opcode = op })
     | Error (Isa.Decode.Bad_register v) ->
       Error (General_protection (Fmt.str "bad register field %d at eip=0x%08x" v eip))
     | Error Isa.Decode.Truncated ->
-      (* unreachable: the fetch-callback decoder has no end-of-stream *)
+      (* unreachable with this fetch-callback decoder (no end-of-stream);
+         the page-edge-bounded block builder *does* see [Truncated] — it
+         ends the block there and dispatch falls back to this path, whose
+         per-byte fetches fault (or succeed) across the page boundary
+         exactly as real hardware would *)
       Error (Invalid_opcode { eip; opcode = -1 })
-    | Ok insn -> (
-      let next = eip + Isa.Insn.size insn in
-      let rd32 a = Mmu.read32_fast mmu ~from_user:true a in
-      let wr32 a v = Mmu.write32_fast mmu ~from_user:true a v in
-      let rd8 a = Mmu.read8_fast mmu ~from_user:true a in
-      let wr8 a v = Mmu.write8_fast mmu ~from_user:true a v in
-      let push v =
-        let sp = mask32 (get r ESP - 4) in
-        wr32 sp v;
-        set r ESP sp
-      in
-      let binop d s f =
-        let v = f (get r d) (get r s) in
-        set r d v;
-        set_flags r v;
-        r.eip <- next;
-        Ok Retired
-      in
-      let jump_if cond target =
-        (match target with
-        | Isa.Insn.Rel disp -> r.eip <- (if cond then mask32 (next + disp) else next)
-        | Isa.Insn.Lbl _ -> assert false);
-        Ok Retired
-      in
-      (* Consult the control-transfer monitor (when armed) before the new
-         eip is committed. The monitor runs after every memory access of
-         the instruction, so a page fault cannot restart the instruction
-         past a monitor side effect (a shadow-stack push would otherwise
-         happen twice). A denied transfer surfaces as #GP; the monitor has
-         already logged why. *)
-      let check kind ~target k =
-        match ctrl with
-        | None -> k ()
-        | Some f ->
-          if f ~kind ~site:eip ~target ~ret:next then k ()
-          else
-            Error
-              (General_protection
-                 (Fmt.str "cfi: %s site=0x%08x target=0x%08x" (ctrl_kind_name kind) eip
-                    target))
-      in
-      match insn with
-      | Nop ->
-        r.eip <- next;
-        Ok Retired
-      | Hlt -> Error (General_protection "hlt in user mode")
-      | Mov_ri (d, i) ->
-        set r d i;
-        r.eip <- next;
-        Ok Retired
-      | Mov_rr (d, s) ->
-        set r d (get r s);
-        r.eip <- next;
-        Ok Retired
-      | Load (d, b, off) ->
-        let v = rd32 (get r b + off) in
-        set r d v;
-        r.eip <- next;
-        Ok Retired
-      | Store (b, off, s) ->
-        wr32 (get r b + off) (get r s);
-        r.eip <- next;
-        Ok Retired
-      | Loadb (d, b, off) ->
-        let v = rd8 (get r b + off) in
-        set r d v;
-        r.eip <- next;
-        Ok Retired
-      | Storeb (b, off, s) ->
-        wr8 (get r b + off) (get r s land 0xFF);
-        r.eip <- next;
-        Ok Retired
-      | Push s ->
-        push (get r s);
-        r.eip <- next;
-        Ok Retired
-      | Pop d ->
-        let sp = get r ESP in
-        let v = rd32 sp in
-        set r ESP (sp + 4);
-        set r d v;
-        r.eip <- next;
-        Ok Retired
-      | Lea (d, b, off) ->
-        set r d (get r b + off);
-        r.eip <- next;
-        Ok Retired
-      | Add (d, s) -> binop d s ( + )
-      | Sub (d, s) -> binop d s ( - )
-      | Add_ri (d, i) ->
-        let v = get r d + i in
-        set r d v;
-        set_flags r v;
-        r.eip <- next;
-        Ok Retired
-      | Cmp (a, b) ->
-        set_flags_signed r (sign32 (get r a) - sign32 (get r b));
-        r.eip <- next;
-        Ok Retired
-      | Cmp_ri (a, i) ->
-        set_flags_signed r (sign32 (get r a) - i);
-        r.eip <- next;
-        Ok Retired
-      | And_ (d, s) -> binop d s ( land )
-      | Or_ (d, s) -> binop d s ( lor )
-      | Xor (d, s) -> binop d s ( lxor )
-      | Mul (d, s) -> binop d s ( * )
-      | Shl (d, i) ->
-        let v = get r d lsl (i land 31) in
-        set r d v;
-        set_flags r v;
-        r.eip <- next;
-        Ok Retired
-      | Shr (d, i) ->
-        let v = get r d lsr (i land 31) in
-        set r d v;
-        set_flags r v;
-        r.eip <- next;
-        Ok Retired
-      | Jmp t -> jump_if true t
-      | Jz t -> jump_if r.zf t
-      | Jnz t -> jump_if (not r.zf) t
-      | Jl t -> jump_if r.sf t
-      | Jge t -> jump_if (not r.sf) t
-      | Jmp_r s ->
-        let target = get r s in
-        check Jump_indirect ~target (fun () ->
-            r.eip <- target;
-            Ok Retired)
-      | Call t ->
-        let disp = match t with Isa.Insn.Rel d -> d | Isa.Insn.Lbl _ -> assert false in
-        let target = mask32 (next + disp) in
-        push next;
-        check Call_direct ~target (fun () ->
-            r.eip <- target;
-            Ok Retired)
-      | Call_r s ->
-        let target = get r s in
-        push next;
-        check Call_indirect ~target (fun () ->
-            r.eip <- target;
-            Ok Retired)
-      | Ret ->
-        let sp = get r ESP in
-        let v = rd32 sp in
-        check Return ~target:v (fun () ->
-            set r ESP (sp + 4);
-            r.eip <- v;
-            Ok Retired)
-      | Int 0x80 ->
-        r.eip <- next;
-        Ok (Syscall (get r EAX))
-      | Int n -> Error (General_protection (Fmt.str "int 0x%x unsupported" n)))
-  in
-  (* the MMU already traced its own faults; #UD and #GP surface here *)
-  let trace_trap fault =
-    let obs = Mmu.obs mmu in
-    if Obs.enabled obs then
-      Obs.event obs ~cat:"cpu" "cpu.trap"
-        ~args:[ ("fault", Obs.Json.Str (Fmt.str "%a" pp_fault fault)) ]
+    | Ok insn -> exec_insn ~ctrl mmu r insn ~eip ~next:(eip + Isa.Insn.size insn)
   in
   match exec () with
   | exception Mmu.Pending_fault ->
@@ -238,7 +252,158 @@ let step ?ctrl mmu (r : regs) =
     { outcome = Error (Page (Mmu.pending_fault mmu)); debug_trap = false }
   | exception Mmu.Page_fault f -> { outcome = Error (Page f); debug_trap = false }
   | Error fault as e ->
-    trace_trap fault;
+    trace_trap mmu fault;
     { outcome = e; debug_trap = false }
   | Ok Retired -> if tf_at_start then retired_step_db else retired_step
   | Ok (Syscall _) as ok -> { outcome = ok; debug_trap = tf_at_start }
+
+(* One instruction, byte-at-a-time: the classic interpreter. Kept as a thin
+   wrapper over [exec_insn]/[step_with] so existing callers (the scheduler's
+   per-instruction path, tests, tools) are untouched by the block-dispatch
+   redesign. *)
+let step ?ctrl mmu (r : regs) =
+  step_with ~ctrl ~fetch:(fun a -> Mmu.fetch8_fast mmu ~from_user:true a) mmu r
+
+(* The block dispatcher's exact fallback for one instruction whose first
+   byte has already been translated to packed paddr [pa0] (a negative block:
+   undecodable first byte, or operands straddling the page edge). The byte-0
+   fetch must not retranslate — that would double the TLB traffic relative
+   to the per-instruction interpreter — so it replays only the icache touch
+   and the physical read; every later byte goes through the full fast-path
+   fetch, faulting across the page boundary exactly as [step] would. *)
+let step_env_at_pa0 (env : Exec_env.t) mmu (r : regs) pa0 =
+  let eip = r.eip in
+  let phys = Mmu.phys mmu in
+  let fetch a =
+    if a = eip then begin
+      Mmu.touch_icache mmu pa0;
+      Phys.read8_at phys pa0
+    end
+    else Mmu.fetch8_fast mmu ~from_user:true a
+  in
+  step_with ~ctrl:env.Exec_env.ctrl ~fetch mmu r
+
+type block_result = {
+  attempts : int;
+      (** instructions attempted (retired + the trapping one, if any) —
+          the scheduler's quantum/fuel currency, one per [step] the
+          per-instruction path would have taken *)
+  retired : int;  (** plainly retired instructions, charged but undelivered *)
+  pending : step option;
+      (** the trap (or syscall) that ended the run, still to be handed to
+          the kernel's trap dispatch; [None] = ran out of budget *)
+}
+
+(* Dispatch decoded basic blocks until an instruction traps, the attempt
+   budget [max_insns] is exhausted, or the cycle counter reaches
+   [tick_limit] (the scheduler's next timer interrupt — checked before
+   every instruction, exactly where the per-instruction loop calls
+   [timer_tick]).
+
+   Equivalence discipline — every architectural side effect of the
+   per-instruction interpreter is replayed, per instruction:
+   - byte 0 of every instruction goes through a real [translate_result]
+     (ITLB hit/walk/fill, walk charges, obs events, sampling) — this is
+     also what revalidates the mapping, so pagetable remaps and [invlpg]
+     need no cache invalidation at all;
+   - bytes 1..size-1 are same-page by construction (blocks are
+     page-bounded). With no sampling hook and no icache model their only
+     architectural effect is ITLB hit accounting, batched through
+     [Tlb.note_hits]; with either installed, each byte replays a real
+     translation + icache touch so decimation order and cache-line
+     traffic are preserved exactly;
+   - retired instructions charge [params.insn] cycles inline (the timer
+     comparison and the sampling hook both read [cycles] mid-block) while
+     the [insns] counter and retire-rate metrics are batched by the
+     caller from [retired];
+   - staleness ([Bbcache.stale]) is checked before every instruction, not
+     just at block entry, so self-modifying code that rewrites its own
+     block takes effect at the very next instruction boundary. *)
+let run_block (env : Exec_env.t) mmu (r : regs) ~max_insns ~tick_limit =
+  let cache =
+    match env.Exec_env.cache with
+    | Some c -> c
+    | None -> invalid_arg "Cpu.run_block: no block cache installed"
+  in
+  let cost = Mmu.cost mmu in
+  let insn_cycles = cost.Cost.params.Cost.insn in
+  let page_size = Phys.page_size (Mmu.phys mmu) in
+  let itlb = Mmu.itlb mmu in
+  (* Batched fetch accounting is only exact when nothing observes the
+     individual byte fetches. *)
+  let fast_fetch = env.Exec_env.sample = None && Mmu.icache mmu = None in
+  let attempts = ref 0 in
+  let retired = ref 0 in
+  let pending = ref None in
+  let finish s = pending := Some s in
+  let rec loop cur =
+    if !attempts < max_insns && cost.Cost.cycles < tick_limit then begin
+      let eip = r.eip in
+      let pa0 = Mmu.translate_result mmu ~from_user:true Mmu.Fetch eip in
+      if pa0 < 0 then begin
+        incr attempts;
+        finish { outcome = Error (Page (Mmu.pending_fault mmu)); debug_trap = false }
+      end
+      else begin
+        let b, idx =
+          match cur with
+          | Some (b, idx)
+            when pa0 = b.Bbcache.b_pa0 + b.Bbcache.offs.(idx) && not (Bbcache.stale cache b)
+            -> (b, idx)
+          | Some _ | None -> (Bbcache.lookup cache pa0, 0)
+        in
+        if b.Bbcache.n = 0 then begin
+          (* negative block: byte-at-a-time fallback for this one pc *)
+          let s = step_env_at_pa0 env mmu r pa0 in
+          incr attempts;
+          match s.outcome with
+          | Ok Retired ->
+            env.Exec_env.retire eip;
+            cost.Cost.cycles <- cost.Cost.cycles + insn_cycles;
+            incr retired;
+            loop None
+          | Ok (Syscall _) ->
+            env.Exec_env.retire eip;
+            finish s
+          | Error _ -> finish s
+        end
+        else begin
+          let insn = b.Bbcache.insns.(idx) in
+          let sz = b.Bbcache.sizes.(idx) in
+          Mmu.touch_icache mmu pa0;
+          if sz > 1 then
+            if fast_fetch then Tlb.note_hits itlb (mask32 eip / page_size) (sz - 1)
+            else
+              for i = 1 to sz - 1 do
+                let pa = Mmu.translate_result mmu ~from_user:true Mmu.Fetch (eip + i) in
+                Mmu.touch_icache mmu pa
+              done;
+          match exec_insn ~ctrl:env.Exec_env.ctrl mmu r insn ~eip ~next:(eip + sz) with
+          | exception Mmu.Pending_fault ->
+            incr attempts;
+            finish { outcome = Error (Page (Mmu.pending_fault mmu)); debug_trap = false }
+          | exception Mmu.Page_fault f ->
+            incr attempts;
+            finish { outcome = Error (Page f); debug_trap = false }
+          | Error fault as e ->
+            incr attempts;
+            trace_trap mmu fault;
+            finish { outcome = e; debug_trap = false }
+          | Ok Retired ->
+            incr attempts;
+            env.Exec_env.retire eip;
+            cost.Cost.cycles <- cost.Cost.cycles + insn_cycles;
+            incr retired;
+            let next_idx = idx + 1 in
+            if next_idx < b.Bbcache.n && r.eip = eip + sz then loop (Some (b, next_idx))
+            else loop None
+          | Ok (Syscall _) as ok ->
+            incr attempts;
+            env.Exec_env.retire eip;
+            finish { outcome = ok; debug_trap = false }
+        end
+      end
+    end
+  in
+  loop None;
+  { attempts = !attempts; retired = !retired; pending = !pending }

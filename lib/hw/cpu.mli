@@ -22,7 +22,7 @@ type event =
   | Retired  (** instruction completed normally *)
   | Syscall of int  (** [int 0x80] retired; argument is EAX *)
 
-type ctrl_kind =
+type ctrl_kind = Exec_env.ctrl_kind =
   | Call_direct  (** [call rel] *)
   | Call_indirect  (** [call reg] *)
   | Return  (** [ret] *)
@@ -62,6 +62,33 @@ val step :
     after the instruction's memory accesses and before the new eip commits;
     returning [false] turns the transfer into a #GP. When [ctrl] is absent
     the step loop is unchanged and allocation-free. *)
+
+type block_result = {
+  attempts : int;
+      (** instructions attempted (retired plus the trapping one, if any) —
+          the scheduler's quantum/fuel currency, one per [step] the
+          per-instruction path would have taken *)
+  retired : int;
+      (** plainly retired instructions: their cycles are already charged,
+          but the caller must flush the batched counters — add [retired]
+          to [Cost.insns] and to the retire-rate metric *)
+  pending : step option;
+      (** the step that ended the run (syscall or fault), still to be
+          handed to the kernel's trap dispatch; [None] = budget ran out *)
+}
+
+val run_block : Exec_env.t -> Mmu.t -> regs -> max_insns:int -> tick_limit:int -> block_result
+(** Dispatch decoded basic blocks from [env]'s {!Bbcache} (which must be
+    installed) until an instruction traps, [max_insns] instructions have
+    been attempted, or [Cost.cycles] reaches [tick_limit] — the check sits
+    before every instruction, exactly where the per-instruction loop calls
+    its timer. Bit-identical to iterated {!step}: byte 0 of every
+    instruction goes through a real translation (which also revalidates the
+    mapping), remaining bytes replay their TLB/icache/sampling effects, and
+    retired instructions charge their cycles inline. The caller must not use
+    this while the trap flag is set, while a TLB integrity guard is
+    installed, or while ECC scrubbing is enabled — those need the
+    per-instruction path (and [run_block] never sets [debug_trap]). *)
 
 val mask32 : int -> int
 val sign32 : int -> int

@@ -1,0 +1,41 @@
+(** The execution environment: the one hooks record the CPU dispatch loop
+    consults, built once per machine (by {!Mmu.create}, reachable via
+    {!Mmu.env}) and mutated in place by its owners — the scheduler arms
+    {!t.ctrl}/{!t.retire} per quantum, the profiler installs {!t.sample} on
+    attach/detach, the machine installs {!t.cache} at creation. This
+    replaces [Cpu.step]'s [?ctrl] optional argument surface and the MMU's
+    [sample_hook] field; {!Cpu.step} remains as a thin wrapper for callers
+    that pass their own monitor. *)
+
+type access = Fetch | Read | Write
+(** Re-exported as {!Mmu.access}; lives here so the sampling hook type can
+    be stated below the MMU in the module graph. *)
+
+type ctrl_kind = Call_direct | Call_indirect | Return | Jump_indirect
+(** Re-exported as {!Cpu.ctrl_kind}. *)
+
+type ctrl = kind:ctrl_kind -> site:int -> target:int -> ret:int -> bool
+
+type t = {
+  mutable ctrl : ctrl option;
+      (** control-transfer monitor (a CFI defense): consulted on every
+          [call]/[call reg]/[ret]/[jmp reg] after the instruction's memory
+          accesses and before the new eip commits; [false] denies the
+          transfer (#GP). Armed per quantum. *)
+  mutable sample : (access -> int -> bool -> unit) option;
+      (** address-sampling hook (lib/prof): [h access vpn tlb_hit] on
+          every {e successful} translation, after permission checks. All
+          arguments unboxed; [None] costs one branch. When installed, the
+          block dispatcher replays fetches byte-at-a-time so decimation
+          order is preserved exactly. *)
+  mutable retire : int -> unit;
+      (** fired with the instruction's eip for every retired (non-trap)
+          instruction under block dispatch; the kernel points it at the
+          process's forensic trace ring each quantum. [ignore] = off. *)
+  mutable cache : Bbcache.t option;
+      (** decoded basic-block cache; [None] disables block dispatch. *)
+}
+
+val create : unit -> t
+(** All hooks off: [ctrl = None], [sample = None], [retire = ignore],
+    [cache = None]. *)

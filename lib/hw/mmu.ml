@@ -1,4 +1,4 @@
-type access = Fetch | Read | Write
+type access = Exec_env.access = Fetch | Read | Write
 
 let pp_access ppf = function
   | Fetch -> Fmt.string ppf "fetch"
@@ -64,12 +64,12 @@ type t = {
      — the "missed invalidation" fault the phantom-entry class models. *)
   mutable tlb_guard : (access -> Tlb.entry -> bool) option;
   mutable invlpg_hook : (int -> bool) option;
-  (* profiling hook (lib/prof): called on every *successful* translation
-     with (access, vpn, tlb_hit) — all unboxed, so with [None] installed
-     the fast path pays one branch and zero allocation, and with a sampler
-     installed the per-translation cost is one closure call. Decimation
-     (every Nth sample) lives inside the hook. *)
-  mutable sample_hook : (access -> int -> bool -> unit) option;
+  (* the execution environment: the per-machine hooks record shared with
+     the CPU dispatch loop. The MMU reads [env.sample] (the lib/prof
+     address-sampling hook) on every successful translation — unboxed
+     arguments, so with nothing installed the fast path pays one branch
+     and zero allocation. *)
+  env : Exec_env.t;
   (* pending-fault registers: like x86's CR2, the details of the last fault
      live in mutable registers instead of an allocated record, so the fast
      path faults without touching the minor heap. [pending_fault]
@@ -98,7 +98,7 @@ let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?(tlb_policy = Tlb.Fifo)
     obs = Obs.null;
     tlb_guard = None;
     invlpg_hook = None;
-    sample_hook = None;
+    env = Exec_env.create ();
     pend_addr = 0;
     pend_access = Read;
     pend_kind = Not_present;
@@ -108,6 +108,8 @@ let create ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?(tlb_policy = Tlb.Fifo)
 let phys t = t.phys
 let itlb t = t.itlb
 let dtlb t = t.dtlb
+let cost t = t.cost
+let env t = t.env
 let obs t = t.obs
 let set_obs t obs = t.obs <- obs
 let set_nx t v = t.nx_enabled <- v
@@ -176,9 +178,8 @@ let reload_cr3_dual t ~code ~data =
   flush_tlbs t
 
 let set_tlb_guard t g = t.tlb_guard <- g
+let has_tlb_guard t = t.tlb_guard <> None
 let set_invlpg_hook t h = t.invlpg_hook <- h
-let set_sample_hook t h = t.sample_hook <- h
-let sample_hook t = t.sample_hook
 
 let invlpg t vpn =
   match t.invlpg_hook with
@@ -245,7 +246,7 @@ let rec translate_result t ~from_user access vaddr =
       || (access = Fetch && t.nx_enabled && e.nx)
     then record_fault t ~addr:vaddr ~access ~kind:Protection ~from_user
     else begin
-      (match t.sample_hook with None -> () | Some h -> h access vpn true);
+      (match t.env.sample with None -> () | Some h -> h access vpn true);
       (e.frame * page_size) + (vaddr mod page_size)
     end
   | exception Not_found -> (
@@ -277,7 +278,7 @@ let rec translate_result t ~from_user access vaddr =
           if Obs.enabled t.obs then Obs.count t.obs "mmu.fills";
           Tlb.insert tlb
             { vpn; frame = p.frame; user = p.user; writable = p.writable; nx = p.nx };
-          (match t.sample_hook with None -> () | Some h -> h access vpn false);
+          (match t.env.sample with None -> () | Some h -> h access vpn false);
           (p.frame * page_size) + (vaddr mod page_size)
         end
     end)
@@ -288,75 +289,89 @@ let translate t ~from_user access vaddr =
   let page_size = Phys.page_size t.phys in
   (pa / page_size, pa mod page_size)
 
-(* Fast accessors for the CPU step loop: a fault raises the constant
-   [Pending_fault], so the whole miss path allocates nothing. The caller
-   materializes the fault record once, at the trap boundary, via
-   [pending_fault]. *)
-
-let fetch8_fast t ~from_user vaddr =
-  let pa = translate_result t ~from_user Fetch vaddr in
-  if pa < 0 then raise Pending_fault;
-  touch_icache t pa;
-  Phys.read8_at t.phys pa
-
-let read8_fast t ~from_user vaddr =
-  let pa = translate_result t ~from_user Read vaddr in
-  if pa < 0 then raise Pending_fault;
-  touch_dcache_read t pa;
-  Phys.read8_at t.phys pa
-
-let write8_fast t ~from_user vaddr v =
-  let pa = translate_result t ~from_user Write vaddr in
-  if pa < 0 then raise Pending_fault;
-  touch_dcache_write t pa;
-  Phys.write8_at t.phys pa v
-
-let read32_fast t ~from_user vaddr =
-  let page_size = Phys.page_size t.phys in
-  if mask32 vaddr mod page_size <= page_size - 4 then begin
-    let pa = translate_result t ~from_user Read vaddr in
+(* The fast-path access module for the CPU dispatch loop. One shared
+   translation core ([paddr]) holds the fault plumbing that used to be
+   copy-pasted across five accessors: a negative translation raises the
+   constant [Pending_fault], so the whole miss path allocates nothing and
+   the caller materializes the fault record once, at the trap boundary,
+   via [pending_fault]. Each accessor then layers exactly its cache
+   traffic (icache for fetches, dcache — plus SMC coherency on stores —
+   for data) over the physical access. 32-bit accesses split at page
+   boundaries into four byte accesses, each with its own translation and
+   its own fault point, as the hardware would split them. *)
+module Fast = struct
+  let paddr t ~from_user access vaddr =
+    let pa = translate_result t ~from_user access vaddr in
     if pa < 0 then raise Pending_fault;
+    pa
+
+  let fetch8 t ~from_user vaddr =
+    let pa = paddr t ~from_user Fetch vaddr in
+    touch_icache t pa;
+    Phys.read8_at t.phys pa
+
+  let read8 t ~from_user vaddr =
+    let pa = paddr t ~from_user Read vaddr in
     touch_dcache_read t pa;
-    Phys.read32_at t.phys pa
-  end
-  else
-    let b i = read8_fast t ~from_user (vaddr + i) in
-    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+    Phys.read8_at t.phys pa
 
-let write32_fast t ~from_user vaddr v =
-  let page_size = Phys.page_size t.phys in
-  if mask32 vaddr mod page_size <= page_size - 4 then begin
-    let pa = translate_result t ~from_user Write vaddr in
-    if pa < 0 then raise Pending_fault;
+  let write8 t ~from_user vaddr v =
+    let pa = paddr t ~from_user Write vaddr in
     touch_dcache_write t pa;
-    Phys.write32_at t.phys pa v
-  end
-  else
-    for i = 0 to 3 do
-      write8_fast t ~from_user (vaddr + i) ((v lsr (8 * i)) land 0xFF)
-    done
+    Phys.write8_at t.phys pa v
+
+  let read32 t ~from_user vaddr =
+    let page_size = Phys.page_size t.phys in
+    if mask32 vaddr mod page_size <= page_size - 4 then begin
+      let pa = paddr t ~from_user Read vaddr in
+      touch_dcache_read t pa;
+      Phys.read32_at t.phys pa
+    end
+    else
+      let b i = read8 t ~from_user (vaddr + i) in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+  let write32 t ~from_user vaddr v =
+    let page_size = Phys.page_size t.phys in
+    if mask32 vaddr mod page_size <= page_size - 4 then begin
+      let pa = paddr t ~from_user Write vaddr in
+      touch_dcache_write t pa;
+      Phys.write32_at t.phys pa v
+    end
+    else
+      for i = 0 to 3 do
+        write8 t ~from_user (vaddr + i) ((v lsr (8 * i)) land 0xFF)
+      done
+end
+
+(* Historical flat names for the [Fast] accessors. *)
+let fetch8_fast = Fast.fetch8
+let read8_fast = Fast.read8
+let write8_fast = Fast.write8
+let read32_fast = Fast.read32
+let write32_fast = Fast.write32
 
 (* Record-raising wrappers for existing callers (the kernel's copy loops,
    tests, tools): same semantics as before the fast path existed. *)
 
 let fetch8 t ~from_user vaddr =
-  try fetch8_fast t ~from_user vaddr
+  try Fast.fetch8 t ~from_user vaddr
   with Pending_fault -> raise (Page_fault (pending_fault t))
 
 let read8 t ~from_user vaddr =
-  try read8_fast t ~from_user vaddr
+  try Fast.read8 t ~from_user vaddr
   with Pending_fault -> raise (Page_fault (pending_fault t))
 
 let write8 t ~from_user vaddr v =
-  try write8_fast t ~from_user vaddr v
+  try Fast.write8 t ~from_user vaddr v
   with Pending_fault -> raise (Page_fault (pending_fault t))
 
 let read32 t ~from_user vaddr =
-  try read32_fast t ~from_user vaddr
+  try Fast.read32 t ~from_user vaddr
   with Pending_fault -> raise (Page_fault (pending_fault t))
 
 let write32 t ~from_user vaddr v =
-  try write32_fast t ~from_user vaddr v
+  try Fast.write32 t ~from_user vaddr v
   with Pending_fault -> raise (Page_fault (pending_fault t))
 
 (* The pagetable-walk DTLB-load trick of Algorithm 1: with the PTE

@@ -9,7 +9,7 @@
     accesses of one kind, routing fetches and data accesses to different
     physical frames. *)
 
-type access = Fetch | Read | Write
+type access = Exec_env.access = Fetch | Read | Write
 
 val pp_access : Format.formatter -> access -> unit
 
@@ -61,6 +61,13 @@ val create :
 val phys : t -> Phys.t
 val itlb : t -> Tlb.t
 val dtlb : t -> Tlb.t
+val cost : t -> Cost.t
+
+val env : t -> Exec_env.t
+(** The machine's execution environment — the hooks record shared with the
+    CPU dispatch loop, created with the MMU and mutated in place by its
+    owners (see {!Exec_env}). The profiler installs its sampling hook as
+    [(Mmu.env mmu).Exec_env.sample <- Some h]. *)
 
 val obs : t -> Obs.t
 val set_obs : t -> Obs.t -> unit
@@ -117,17 +124,11 @@ val set_invlpg_hook : t -> (int -> bool) option -> unit
     {!invlpg}; returning [true] swallows the invalidation, leaving any
     cached entries stale. *)
 
-val set_sample_hook : t -> (access -> int -> bool -> unit) option -> unit
-(** Install the address-sampling hook (lib/prof): called as
-    [h access vpn tlb_hit] on every {e successful} translation, after
-    permission checks — faulting accesses are not sampled, and in
-    software-fill mode the post-fill retry is observed as the hit it
-    architecturally is. All arguments are unboxed; with [None] installed
-    the fast path pays a single branch and stays allocation-free, which is
-    what keeps the CI alloc gate green with sampling disabled. Decimation
-    (sample every Nth translation) is the hook's own business. *)
-
-val sample_hook : t -> (access -> int -> bool -> unit) option
+val has_tlb_guard : t -> bool
+(** A TLB integrity guard is currently installed. The scheduler consults
+    this to force per-instruction dispatch: the guard must see every TLB
+    hit individually, which the block dispatcher's batched fetch accounting
+    would elide. *)
 
 val translate : t -> from_user:bool -> access -> int -> int * int
 (** [translate t ~from_user access vaddr] returns [(frame, offset)].
@@ -165,14 +166,35 @@ val write8 : t -> from_user:bool -> int -> int -> unit
 val read32 : t -> from_user:bool -> int -> int
 val write32 : t -> from_user:bool -> int -> int -> unit
 
+(** The fast-path access module: the CPU dispatch loop's accessors. One
+    shared translation core holds the fault plumbing (a faulting access
+    raises the constant {!Pending_fault} instead of allocating a
+    [Page_fault] record); each accessor layers exactly its cache traffic
+    over the physical access. 32-bit accesses that straddle a page
+    boundary decay into four byte accesses, each with its own translation
+    and fault point. *)
+module Fast : sig
+  val fetch8 : t -> from_user:bool -> int -> int
+  (** Instruction-side byte read (ITLB + icache). *)
+
+  val read8 : t -> from_user:bool -> int -> int
+  val write8 : t -> from_user:bool -> int -> int -> unit
+  val read32 : t -> from_user:bool -> int -> int
+  val write32 : t -> from_user:bool -> int -> int -> unit
+end
+
 val fetch8_fast : t -> from_user:bool -> int -> int
-(** Like {!fetch8} but raises {!Pending_fault} instead of allocating a
-    [Page_fault]. The CPU step loop's accessor. *)
+(** Historical flat alias for {!Fast.fetch8} (likewise the four below). *)
 
 val read8_fast : t -> from_user:bool -> int -> int
 val write8_fast : t -> from_user:bool -> int -> int -> unit
 val read32_fast : t -> from_user:bool -> int -> int
 val write32_fast : t -> from_user:bool -> int -> int -> unit
+
+val touch_icache : t -> int -> unit
+(** Charge an icache access for packed paddr [pa] (no-op when the cache
+    timing model is off). The block dispatcher replays this per fetched
+    byte so cycle counts match the per-instruction interpreter exactly. *)
 
 val touch_read : t -> int -> unit
 (** Algorithm 1's DTLB load: user-mode read of one byte so the hardware

@@ -10,7 +10,22 @@ type ecc = {
   mutable hook : (int -> unit) option;
 }
 
-type t = { page_size : int; frames : Bytes.t array; mutable ecc : ecc option }
+type t = {
+  page_size : int;
+  frames : Bytes.t array;
+  mutable ecc : ecc option;
+  (* Write watch (lib/hw Bbcache): one flag byte per frame, set by
+     [watch_frame] when derived state (a decoded block) was built from the
+     frame's bytes. Every mutation path checks the flag and, when set,
+     clears it and fires [write_watch] with the frame — so unwatched frames
+     (all data traffic) pay a single byte compare per store, and the hook
+     fires once per watched frame per dirtying burst. [flip_bit] bypasses
+     the watch by design: it models a DRAM bit error, which only the ECC
+     machinery may observe — consumers of the watch must not cache derived
+     state from frames while ECC is enabled. *)
+  watched : Bytes.t;
+  mutable write_watch : (int -> unit) option;
+}
 
 let create ?(page_size = 4096) ~frames () =
   if frames <= 0 then invalid_arg "Phys.create: frames must be positive";
@@ -18,7 +33,22 @@ let create ?(page_size = 4096) ~frames () =
     page_size;
     frames = Array.init frames (fun _ -> Bytes.make page_size '\000');
     ecc = None;
+    watched = Bytes.make frames '\000';
+    write_watch = None;
   }
+
+let set_write_watch t hook = t.write_watch <- hook
+
+let watch_frame t ~frame =
+  if frame < 0 || frame >= Array.length t.frames then
+    invalid_arg (Fmt.str "Phys.watch_frame: frame %d out of range" frame);
+  Bytes.unsafe_set t.watched frame '\001'
+
+let note_write t frame =
+  if Bytes.unsafe_get t.watched frame <> '\000' then begin
+    Bytes.unsafe_set t.watched frame '\000';
+    match t.write_watch with None -> () | Some h -> h frame
+  end
 
 let page_size t = t.page_size
 let frame_count t = Array.length t.frames
@@ -54,6 +84,7 @@ let write8 t ~frame ~off v =
   check t frame off 1;
   let c = Char.chr (v land 0xFF) in
   Bytes.set t.frames.(frame) off c;
+  note_write t frame;
   match t.ecc with None -> () | Some e -> Bytes.set e.shadow.(frame) off c
 
 let read32 t ~frame ~off =
@@ -69,6 +100,7 @@ let write32 t ~frame ~off v =
   set 1 (v lsr 8);
   set 2 (v lsr 16);
   set 3 (v lsr 24);
+  note_write t frame;
   match t.ecc with
   | None -> ()
   | Some e -> Bytes.blit t.frames.(frame) off e.shadow.(frame) off 4
@@ -76,6 +108,7 @@ let write32 t ~frame ~off v =
 let fill t ~frame byte =
   check t frame 0 t.page_size;
   Bytes.fill t.frames.(frame) 0 t.page_size (Char.chr (byte land 0xFF));
+  note_write t frame;
   match t.ecc with
   | None -> ()
   | Some e -> Bytes.fill e.shadow.(frame) 0 t.page_size (Char.chr (byte land 0xFF))
@@ -83,6 +116,7 @@ let fill t ~frame byte =
 let blit_from_string t ~frame ~off s =
   check t frame off (String.length s);
   Bytes.blit_string s 0 t.frames.(frame) off (String.length s);
+  note_write t frame;
   match t.ecc with
   | None -> ()
   | Some e -> Bytes.blit_string s 0 e.shadow.(frame) off (String.length s)
@@ -111,6 +145,7 @@ let blit_from_bytes t ~frame src ~len =
   check t frame 0 len;
   if len > Bytes.length src then invalid_arg "Phys.blit_from_bytes: len > src";
   Bytes.blit src 0 t.frames.(frame) 0 len;
+  note_write t frame;
   match t.ecc with None -> () | Some e -> Bytes.blit src 0 e.shadow.(frame) 0 len
 
 (* The shadow copies the shadow, not the primary: a frame copied while it
@@ -120,6 +155,7 @@ let copy_frame t ~src ~dst =
   check t src 0 t.page_size;
   check t dst 0 t.page_size;
   Bytes.blit t.frames.(src) 0 t.frames.(dst) 0 t.page_size;
+  note_write t dst;
   match t.ecc with
   | None -> ()
   | Some e -> Bytes.blit e.shadow.(src) 0 e.shadow.(dst) 0 t.page_size

@@ -37,6 +37,22 @@ val blit_to_bytes : t -> frame:int -> Bytes.t -> unit
 val blit_from_bytes : t -> frame:int -> Bytes.t -> len:int -> unit
 (** Overwrite the first [len] bytes of a frame from a caller-owned buffer. *)
 
+(** {2 Write watch}
+
+    Invalidation support for derived caches of frame contents (the decoded
+    basic-block cache): {!watch_frame} flags a frame as backing derived
+    state, and every mutation path ({!write8}, {!write32}, {!fill},
+    {!blit_from_string}, {!blit_from_bytes}, and {!copy_frame}'s
+    destination) that touches a flagged frame clears the flag and fires the
+    watch hook with the frame index. Unflagged frames pay one byte compare
+    per store; the hook fires once per flagged frame per dirtying burst
+    (re-flag after rebuilding). {!flip_bit} deliberately bypasses the watch
+    (it models a DRAM bit error below the write path), so derived caches
+    must not be used while ECC fault injection is enabled. *)
+
+val set_write_watch : t -> (int -> unit) option -> unit
+val watch_frame : t -> frame:int -> unit
+
 (** {2 ECC model}
 
     Fault-injection support (lib/inject): when enabled, a shadow copy of

@@ -102,6 +102,21 @@ let find t vpn =
     t.stats.misses <- t.stats.misses + 1;
     raise Not_found
 
+(* Bulk hit accounting for the block-dispatch fast path: the caller has
+   already proven the next [n] lookups of [vpn] would all hit (the entry is
+   resident and nothing can evict it in between), so fold them into one
+   call. Must stay observably identical to [n] consecutive [find]s: the hit
+   counter advances by [n], and under LRU each folded hit still pushes a
+   recency occurrence — including the deterministic compaction trigger. *)
+let note_hits t vpn n =
+  if n > 0 then begin
+    t.stats.hits <- t.stats.hits + n;
+    if t.policy = Lru then
+      for _ = 1 to n do
+        touch t vpn
+      done
+  end
+
 let peek t vpn = Hashtbl.find_opt t.table vpn
 
 (* Replacement: pop until a victim qualifies. A popped vpn is skipped when

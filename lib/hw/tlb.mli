@@ -44,6 +44,15 @@ val find : t -> int -> entry
 (** Like {!lookup} but without the [option] box: raises the constant
     [Not_found] on a miss. The MMU fast path's allocation-free lookup. *)
 
+val note_hits : t -> int -> int -> unit
+(** [note_hits t vpn n] accounts for [n] guaranteed hits on [vpn] without
+    performing the lookups: hits advance by [n] and, under {!Lru}, each
+    folded hit pushes its recency occurrence exactly as [n] consecutive
+    {!find}s would (including compaction timing). The caller must know the
+    entry is resident and cannot be evicted across the folded window — the
+    block-dispatch contract for the trailing bytes of a page-bounded
+    instruction. *)
+
 val peek : t -> int -> entry option
 (** Lookup without touching statistics (for tests and assertions). *)
 

@@ -44,6 +44,19 @@ let size = function
   | Mov_ri _ | Add_ri _ | Cmp_ri _ -> 6
   | Load _ | Store _ | Loadb _ | Storeb _ | Lea _ -> 7
 
+(* An instruction after which straight-line execution cannot be assumed:
+   every control transfer (conditional or not — a not-taken branch still
+   ends the decoded run), the syscall gate, and [hlt]. Basic-block
+   construction (Hw.Bbcache) stops at — and includes — these. *)
+let is_block_end = function
+  | Jmp _ | Jz _ | Jnz _ | Jl _ | Jge _ | Jmp_r _ | Call _ | Call_r _ | Ret | Int _
+  | Hlt ->
+    true
+  | Nop | Mov_ri _ | Mov_rr _ | Load _ | Store _ | Loadb _ | Storeb _ | Push _
+  | Pop _ | Lea _ | Add _ | Sub _ | Add_ri _ | Cmp _ | Cmp_ri _ | And_ _ | Or_ _
+  | Xor _ | Mul _ | Shl _ | Shr _ ->
+    false
+
 let pp_target ppf = function
   | Rel d -> Fmt.pf ppf "%+d" d
   | Lbl l -> Fmt.string ppf l

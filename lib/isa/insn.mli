@@ -47,5 +47,9 @@ type t =
 val size : t -> int
 (** Encoded size in bytes (independent of label resolution). *)
 
+val is_block_end : t -> bool
+(** True for instructions that terminate a decoded basic block: every
+    control transfer (including not-taken conditionals), [int], and [hlt]. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

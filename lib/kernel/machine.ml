@@ -44,6 +44,8 @@ type t = {
   phys : Hw.Phys.t;
   alloc : Frame_alloc.t;
   mmu : Hw.Mmu.t;
+  env : Hw.Exec_env.t;  (* the CPU dispatch hooks record, owned by the MMU *)
+  bbcache : Hw.Bbcache.t option;  (* decoded-block cache; None = per-insn *)
   cost : Hw.Cost.t;
   log : Event_log.t;
   protection : Protection.t;
@@ -121,17 +123,29 @@ let install_snapshot_hook obs mmu (cost : Hw.Cost.t) =
       seti "cost.syscalls" cost.syscalls;
       seti "cost.ctx_switches" cost.ctx_switches)
 
+(* Process-wide default for [create]'s [?bbcache]: the block cache is a
+   pure dispatch optimization (provably equivalent, see DESIGN.md §13), so
+   it is on by default and CLI tools flip this ref off for [--no-bbcache]
+   differential runs before any machine is built. *)
+let bbcache_default = ref true
+
 let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?tlb_policy
     ?(stack_jitter_pages = 0) ?(verify_signatures = true) ?(seed = 7)
     ?(tlb_fill = Hw.Mmu.Hardware_walk) ?(caches = false) ?(obs = Obs.null)
-    ~protection () =
+    ?bbcache ~protection () =
   let phys = Hw.Phys.create ~page_size ~frames () in
   let cost = Hw.Cost.create ?params:cost_params () in
   let mmu = Hw.Mmu.create ~itlb_capacity ~dtlb_capacity ?tlb_policy ~phys ~cost () in
   Hw.Mmu.set_nx mmu protection.Protection.nx_hardware;
   Hw.Mmu.set_fill_mode mmu tlb_fill;
   if caches then Hw.Mmu.enable_caches mmu;
+  let env = Hw.Mmu.env mmu in
+  let bbcache =
+    let enabled = match bbcache with Some b -> b | None -> !bbcache_default in
+    if enabled then Some (Hw.Bbcache.create ~phys ()) else None
+  in
+  env.Hw.Exec_env.cache <- bbcache;
   let log = Event_log.create () in
   let hot =
     if not (Obs.enabled obs) then None
@@ -159,6 +173,8 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     phys;
     alloc = Frame_alloc.create phys;
     mmu;
+    env;
+    bbcache;
     cost;
     log;
     protection;

@@ -49,6 +49,11 @@ type t = {
   phys : Hw.Phys.t;
   alloc : Frame_alloc.t;
   mmu : Hw.Mmu.t;
+  env : Hw.Exec_env.t;
+      (** the CPU dispatch hooks record ([= Hw.Mmu.env mmu]), armed by the
+          scheduler each quantum *)
+  bbcache : Hw.Bbcache.t option;
+      (** decoded basic-block cache; [None] = per-instruction dispatch *)
   cost : Hw.Cost.t;
   log : Event_log.t;
   protection : Protection.t;
@@ -96,9 +101,18 @@ val create :
   ?tlb_fill:Hw.Mmu.fill_mode ->
   ?caches:bool ->
   ?obs:Obs.t ->
+  ?bbcache:bool ->
   protection:Protection.t ->
   unit ->
   t
+(** [bbcache] enables the decoded basic-block cache (default
+    {!bbcache_default}); dispatch stays observationally identical either
+    way — the cache only changes wall-clock speed. *)
+
+val bbcache_default : bool ref
+(** Process-wide default for [create]'s [?bbcache] ([true]). CLI tools set
+    this [false] (before building any machine) for [--no-bbcache]
+    differential runs. *)
 
 val ctx : t -> Protection.ctx
 val proc : t -> int -> Proc.t option

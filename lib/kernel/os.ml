@@ -28,6 +28,8 @@ let obs (t : t) = t.Machine.obs
 let syscall_name n = Syscalls.name (Syscalls.default ()) n
 let cost (t : t) = t.Machine.cost
 let mmu (t : t) = t.Machine.mmu
+let env (t : t) = t.Machine.env
+let bbcache (t : t) = t.Machine.bbcache
 let phys (t : t) = t.Machine.phys
 let alloc (t : t) = t.Machine.alloc
 let page_size (t : t) = t.Machine.page_size

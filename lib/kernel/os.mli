@@ -39,6 +39,7 @@ val create :
   ?tlb_fill:Hw.Mmu.fill_mode ->
   ?caches:bool ->
   ?obs:Obs.t ->
+  ?bbcache:bool ->
   protection:Protection.t ->
   unit ->
   t
@@ -50,7 +51,10 @@ val create :
     eviction experiments sweep it. [obs] (default {!Obs.null})
     turns on cycle-stamped tracing and metrics across the whole machine:
     the clock is wired to the cost model, the MMU and event log emit into
-    it, and a snapshot hook imports TLB/cache/cost statistics as gauges. *)
+    it, and a snapshot hook imports TLB/cache/cost statistics as gauges.
+    [bbcache] (default {!Machine.bbcache_default}) enables the decoded
+    basic-block cache — a pure dispatch optimization with no observable
+    effect beyond wall-clock speed. *)
 
 val ctx : t -> Protection.ctx
 val log : t -> Event_log.t
@@ -58,6 +62,12 @@ val obs : t -> Obs.t
 val syscall_name : int -> string
 val cost : t -> Hw.Cost.t
 val mmu : t -> Hw.Mmu.t
+
+val env : t -> Hw.Exec_env.t
+(** The CPU dispatch hooks record (see {!Hw.Exec_env}) — where the
+    profiler installs its sampling hook. *)
+
+val bbcache : t -> Hw.Bbcache.t option
 val phys : t -> Hw.Phys.t
 val alloc : t -> Frame_alloc.t
 val page_size : t -> int

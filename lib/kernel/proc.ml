@@ -44,7 +44,15 @@ type t = {
   trace : int array;
   mutable trace_pos : int;
   mutable protected_ : bool;
+  mutable on_retire : int -> unit;
+      (* this process's retire hook for the block dispatcher: feeds the
+         forensic trace ring. Built once here so arming it each quantum is
+         a field write, not a closure allocation. *)
 }
+
+let record_trace t eip =
+  t.trace.(t.trace_pos) <- eip;
+  t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace
 
 let create ~pid ~name ~aspace =
   let console_in = Pipe.create ~name:(Fmt.str "%s.stdin" name) () in
@@ -52,25 +60,30 @@ let create ~pid ~name ~aspace =
   let fds = Hashtbl.create 8 in
   Hashtbl.replace fds 0 (Read_end console_in);
   Hashtbl.replace fds 1 (Write_end console_out);
-  {
-    pid;
-    name;
-    aspace;
-    regs = Hw.Cpu.create_regs ();
-    fds;
-    console_in;
-    console_out;
-    state = Runnable;
-    next_fd = 3;
-    pending_fault_addr = None;
-    sebek_active = false;
-    parent = None;
-    detections = 0;
-    recovery_handler = None;
-    trace = Array.make 32 (-1);
-    trace_pos = 0;
-    protected_ = true;
-  }
+  let t =
+    {
+      pid;
+      name;
+      aspace;
+      regs = Hw.Cpu.create_regs ();
+      fds;
+      console_in;
+      console_out;
+      state = Runnable;
+      next_fd = 3;
+      pending_fault_addr = None;
+      sebek_active = false;
+      parent = None;
+      detections = 0;
+      recovery_handler = None;
+      trace = Array.make 32 (-1);
+      trace_pos = 0;
+      protected_ = true;
+      on_retire = ignore;
+    }
+  in
+  t.on_retire <- (fun eip -> record_trace t eip);
+  t
 
 let fd t n = Hashtbl.find_opt t.fds n
 
@@ -107,10 +120,6 @@ let pp_state ppf = function
   | Blocked (Write_fd n) -> Fmt.pf ppf "blocked(write fd %d)" n
   | Blocked (Child pid) -> Fmt.pf ppf "blocked(wait pid %d)" pid
   | Zombie s -> Fmt.pf ppf "zombie(%s)" (status_string s)
-
-let record_trace t eip =
-  t.trace.(t.trace_pos) <- eip;
-  t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace
 
 (* Oldest-first list of the last executed instruction addresses. *)
 let trace_trail t =

@@ -40,6 +40,10 @@ type t = {
       (** per-process opt-out (paper §3.3.1: a process that needs a plain
           von Neumann view — e.g. self-modifying code — simply gets one
           pagetable view and no splitting) *)
+  mutable on_retire : int -> unit;
+      (** this process's retire hook for the block dispatcher — feeds
+          {!record_trace}. Built once at creation so the scheduler can arm
+          it each quantum with a field write, not a closure allocation. *)
 }
 
 val create : pid:int -> name:string -> aspace:Aspace.t -> t

@@ -47,12 +47,12 @@ let install t =
   | None -> ());
   Kernel.Os.set_switch_hook os (Some (fun p -> set_current t p));
   let cost = Kernel.Os.cost os in
-  Hw.Mmu.set_sample_hook (Kernel.Os.mmu os)
-    (Some
-       (fun access vpn tlb_hit ->
-         if Sampler.tick s then
-           Sampler.record s ~cycle:cost.Hw.Cost.cycles ~vpn ~access ~tlb_hit
-             ~split:(split_now t vpn)));
+  (Kernel.Os.env os).Hw.Exec_env.sample <-
+    Some
+      (fun access vpn tlb_hit ->
+        if Sampler.tick s then
+          Sampler.record s ~cycle:cost.Hw.Cost.cycles ~vpn ~access ~tlb_hit
+            ~split:(split_now t vpn));
   let obs = Kernel.Os.obs os in
   if Obs.enabled obs then begin
     Obs.event obs ~cat:"prof" "prof.attach"
@@ -75,7 +75,7 @@ let attach ?(rate = 64) ?capacity os =
   t
 
 let detach t =
-  Hw.Mmu.set_sample_hook (Kernel.Os.mmu t.os) None;
+  (Kernel.Os.env t.os).Hw.Exec_env.sample <- None;
   Kernel.Os.set_switch_hook t.os None
 
 (* --- snapshot integration ------------------------------------------------ *)

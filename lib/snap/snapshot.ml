@@ -374,6 +374,11 @@ let restore os snap =
   List.iter
     (fun (frame, bytes) -> Hw.Phys.blit_from_string phys ~frame ~off:0 bytes)
     snap.sn_frames;
+  (* the decoded-block cache is derived state: never serialized, dropped
+     wholesale here and rebuilt lazily as execution resumes. (The refill
+     above already bumped the generations of every watched frame; this
+     also empties the table.) *)
+  Option.iter Hw.Bbcache.clear (Kernel.Os.bbcache os);
   Kernel.Frame_alloc.import (Kernel.Os.alloc os) snap.sn_alloc;
   (* shared pipe objects *)
   let pipes = Hashtbl.create 16 in
@@ -438,25 +443,30 @@ let restore os snap =
           (if is_write then Kernel.Proc.Write_end (pipe id)
            else Kernel.Proc.Read_end (pipe id)))
       ps.pr_fds;
-    {
-      Kernel.Proc.pid = ps.pr_pid;
-      name = ps.pr_name;
-      aspace;
-      regs;
-      fds;
-      console_in = pipe ps.pr_console_in;
-      console_out = pipe ps.pr_console_out;
-      state = proc_state_of_fields ps.pr_state ps.pr_wait ps.pr_exit;
-      next_fd = ps.pr_next_fd;
-      pending_fault_addr = ps.pr_pending_fault;
-      sebek_active = ps.pr_sebek;
-      parent = ps.pr_parent;
-      detections = ps.pr_detections;
-      recovery_handler = ps.pr_recovery;
-      trace = Array.copy ps.pr_trace;
-      trace_pos = ps.pr_trace_pos;
-      protected_ = ps.pr_protected;
-    }
+    let p =
+      {
+        Kernel.Proc.pid = ps.pr_pid;
+        name = ps.pr_name;
+        aspace;
+        regs;
+        fds;
+        console_in = pipe ps.pr_console_in;
+        console_out = pipe ps.pr_console_out;
+        state = proc_state_of_fields ps.pr_state ps.pr_wait ps.pr_exit;
+        next_fd = ps.pr_next_fd;
+        pending_fault_addr = ps.pr_pending_fault;
+        sebek_active = ps.pr_sebek;
+        parent = ps.pr_parent;
+        detections = ps.pr_detections;
+        recovery_handler = ps.pr_recovery;
+        trace = Array.copy ps.pr_trace;
+        trace_pos = ps.pr_trace_pos;
+        protected_ = ps.pr_protected;
+        on_retire = ignore;
+      }
+    in
+    p.on_retire <- (fun eip -> Kernel.Proc.record_trace p eip);
+    p
   in
   Kernel.Os.replace_procs os (List.map build_proc snap.sn_procs);
   Kernel.Os.restore_libraries os snap.sn_libs;

@@ -28,4 +28,5 @@ let () =
       ("inject", Test_inject.suite);
       ("reuse", Test_reuse.suite);
       ("prof", Test_prof.suite);
+      ("bbcache", Test_bbcache.suite);
     ]
