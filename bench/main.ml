@@ -1,5 +1,6 @@
 (* Regenerates every table and figure of the paper's evaluation (§6).
-   Usage: main.exe [-j N] [--json FILE] [table1|table2|fig5|fig6|fig7|fig8|fig9|ablation|micro]...
+   Usage: main.exe [-j N] [--json FILE] [--scale-gate RATIO]
+            [table1|table2|fig5|fig6|fig7|fig8|fig9|ablation|micro|scale]...
    With no experiment argument, runs the full reproduction suite
    (everything except the bechamel microbenchmarks).
 
@@ -638,6 +639,71 @@ let throughput_gate baseline_file =
     (bbcache_specs ());
   if !failures > 0 then exit 1
 
+(* --- scale-out experiments (10k-process machines) ------------------------ *)
+
+(* One image, built once: spawn verification/digest memoization and the
+   loader COW registry are exactly what the experiment measures. *)
+let scale_image = lazy (Workload.Guests.scale_unit ~rounds:2 ())
+
+(* quantum 32 (< the ~150-insn guest) so the guests interleave and are
+   all resident at once — peak frames then shows the COW sharing instead
+   of one guest's working set at a time. *)
+let scale_spec ?(share = true) n =
+  let module H = Workload.Harness in
+  let img = Lazy.force scale_image in
+  H.spec
+    ~label:(Fmt.str "scale-%d%s" n (if share then "" else "-noshare"))
+    ~frames:32768 ~fuel:200_000_000 ~quantum:32 ~share_images:share
+    ~defense:Defense.split_mixed_plus_nx
+    (List.init n (fun _ -> H.guest img))
+
+let scale_grid = [ (100, true); (500, true); (500, false); (2000, true) ]
+
+let scale_results () =
+  let module H = Workload.Harness in
+  List.combine scale_grid
+    (H.run_fleet_exn ~jobs:!jobs
+       (List.map (fun (n, share) -> scale_spec ~share n) scale_grid))
+
+(* Deterministic counters only — the CI scale smoke diffs this output
+   between -j values, so no wall-clock lines here. *)
+let scale_exp () =
+  let module H = Workload.Harness in
+  out "Scale-out: N identical COW-shared guests under split memory + NX";
+  out "  (deterministic counters — byte-identical for every -j)";
+  let results = scale_results () in
+  List.iter
+    (fun (_, (r : H.result)) ->
+      out "  %-18s cycles %10d  insns %8d  ctxsw %6d  peak frames %6d" r.label
+        r.cycles r.insns r.ctx_switches r.peak_frames)
+    results;
+  match (List.assoc_opt (500, true) results, List.assoc_opt (500, false) results) with
+  | Some shared, Some noshare ->
+    out "  shared-image COW at N=500: peak frames %d vs %d unshared (%.1fx less memory)"
+      shared.peak_frames noshare.peak_frames
+      (float_of_int noshare.peak_frames /. float_of_int shared.peak_frames)
+  | _ -> ()
+
+(* Per-process wall-clock must stay flat as the machine grows: O(1)
+   scheduling, indexed wakeups, the bitmap allocator and memoized spawns
+   keep the 10k-process per-process cost within [max_ratio]x of the
+   100-process baseline. Self-relative, so the gate is machine-independent. *)
+let scale_gate_measure () =
+  let _, us100 = best_us ~bbcache:true (scale_spec 100) in
+  let _, us10k = best_us ~bbcache:true (scale_spec 10_000) in
+  let per100 = float_of_int us100 /. 100. in
+  let per10k = float_of_int us10k /. 10_000. in
+  (per100, per10k, per10k /. per100)
+
+let scale_gate max_ratio =
+  let per100, per10k, ratio = scale_gate_measure () in
+  out "scale-gate: per-process wall  100 procs %.2f us   10000 procs %.2f us   ratio %.2fx (max %.2fx)"
+    per100 per10k ratio max_ratio;
+  if ratio > max_ratio then begin
+    out "scale-gate: REGRESSED";
+    exit 1
+  end
+
 (* --- profiler experiments (lib/prof) ------------------------------------- *)
 
 (* Profile-driven policy tables: the TLB capacity x eviction sweep and the
@@ -655,10 +721,15 @@ let profile_exp () =
    per-run counters (with per-job wall-clock), the fleet's own stats and
    the merged metrics registry as one JSON document.
 
-   Schema split-memory-bench/6: everything /5 had, plus the "bbcache"
-   object — per-workload wall-clock with the decoded-block cache on vs
-   off, the speedup, and the cache's own statistics (hits, misses,
-   invalidations, blocks, insns/block).
+   Schema split-memory-bench/7: everything /6 had, plus the "scale"
+   object — the scale-out grid (N COW-shared guests: deterministic
+   counters, peak frames shared vs unshared) and the per-process
+   wall-clock ratio of a 10k-process machine against the 100-process
+   baseline.
+
+   /6 added to /5 the "bbcache" object — per-workload wall-clock with the
+   decoded-block cache on vs off, the speedup, and the cache's own
+   statistics (hits, misses, invalidations, blocks, insns/block).
 
    /5 added to /4 (which stacked the "inject" object on /3's "jobs",
    per-benchmark "wall_us", "fleet" and "alloc") the "matrix" object:
@@ -710,7 +781,7 @@ let git_rev () =
    repo's history accumulates as JSON-lines without any tooling. *)
 let trajectory_file = "BENCH_split-memory-bench.json"
 
-let append_trajectory ~bb_speedups results (stats : Fleet.stats) =
+let append_trajectory ~bb_speedups ~scale_ratio results (stats : Fleet.stats) =
   let module J = Obs.Json in
   let module H = Workload.Harness in
   let benchmarks =
@@ -739,6 +810,9 @@ let append_trajectory ~bb_speedups results (stats : Fleet.stats) =
         (* on/off wall-clock ratio per gated workload, so the block-cache
            dividend is tracked across revisions alongside the raw numbers *)
         ("bbcache_speedup", J.Obj (List.map (fun (n, s) -> (n, J.Float s)) bb_speedups));
+        (* 10k-vs-100 per-process wall ratio, so scheduler/loader scaling
+           is tracked across revisions alongside the raw numbers *)
+        ("scale_per_proc_ratio", J.Float scale_ratio);
         ("fleet_wall_us", J.Int stats.wall_us);
         ("benchmarks", J.List benchmarks);
       ]
@@ -871,6 +945,28 @@ let json_bench file =
   let bb_measures =
     List.map (fun (name, spec) -> (name, bbcache_measure spec)) (bbcache_specs ())
   in
+  let scale_per100, scale_per10k, scale_ratio = scale_gate_measure () in
+  let scale_json =
+    J.Obj
+      [
+        ( "grid",
+          J.List
+            (List.map
+               (fun (_, (r : H.result)) ->
+                 J.Obj
+                   [
+                     ("label", J.Str r.label);
+                     ("cycles", J.Int r.cycles);
+                     ("insns", J.Int r.insns);
+                     ("ctx_switches", J.Int r.ctx_switches);
+                     ("peak_frames", J.Int r.peak_frames);
+                   ])
+               (scale_results ())) );
+        ("per_proc_us_100", J.Float scale_per100);
+        ("per_proc_us_10k", J.Float scale_per10k);
+        ("per_proc_ratio", J.Float scale_ratio);
+      ]
+  in
   let bbcache_json =
     J.Obj
       (("enabled", J.Bool !Kernel.Machine.bbcache_default)
@@ -893,7 +989,7 @@ let json_bench file =
   let doc =
     J.Obj
       [
-        ("schema", J.Str "split-memory-bench/6");
+        ("schema", J.Str "split-memory-bench/7");
         ("jobs", J.Int !jobs);
         ("benchmarks", J.List runs);
         ("fleet", fleet_json);
@@ -901,6 +997,7 @@ let json_bench file =
         ("inject", inject_json);
         ("matrix", matrix_json);
         ("bbcache", bbcache_json);
+        ("scale", scale_json);
         ("metrics", Obs.Metrics.to_json (Obs.snapshot obs));
       ]
   in
@@ -914,7 +1011,7 @@ let json_bench file =
       (List.map
          (fun (n, (us_on, us_off, _, _)) -> (n, float_of_int us_off /. float_of_int us_on))
          bb_measures)
-    results stats
+    ~scale_ratio results stats
 
 (* --- driver -------------------------------------------------------------- *)
 
@@ -967,6 +1064,7 @@ let () =
     | "matrix" -> matrix_exp ()
     | "micro" -> micro ()
     | "bbcache" -> bbcache_exp ()
+    | "scale" -> scale_exp ()
     | "profile" -> profile_exp ()
     | "snap" -> snap_exp ()
     | "alloc" -> alloc ()
@@ -993,6 +1091,17 @@ let () =
       run rest
     | [ "--throughput-gate" ] ->
       Fmt.epr "--throughput-gate needs a BASELINE argument@.";
+      exit 1
+    | "--scale-gate" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some max_ratio when max_ratio > 0. ->
+        scale_gate max_ratio;
+        run rest
+      | Some _ | None ->
+        Fmt.epr "--scale-gate needs a positive ratio, got %S@." r;
+        exit 1)
+    | [ "--scale-gate" ] ->
+      Fmt.epr "--scale-gate needs a RATIO argument@.";
       exit 1
     | x :: rest ->
       dispatch x;

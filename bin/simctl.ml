@@ -916,6 +916,124 @@ let profile_cmd =
           ~doc:"Instructions before the --replay-check checkpoint is taken."
       $ profile_workload_arg)
 
+(* spawn / ps commands: the scale-out path (loader COW, indexed wakeups)
+   driven interactively *)
+
+(* Resident frames from this process's view: one per mapped pte, two when
+   the page is split (code + data copies). Shared COW frames are counted
+   at every holder, so the column sums to more than the machine's peak
+   when sharing is on — peak_in_use is the machine-wide truth. *)
+let proc_frames (p : Kernel.Proc.t) =
+  let n = ref 0 in
+  Kernel.Aspace.iter_ptes p.aspace (fun pte ->
+      n := !n + (match pte.split with Some _ -> 2 | None -> 1));
+  !n
+
+let ps_table (k : Kernel.Os.t) =
+  let m = Kernel.Os.machine k in
+  print_string
+    (Report.table ~title:"processes"
+       ~header:[ "pid"; "name"; "state"; "frames"; "insns" ]
+       (List.map
+          (fun (p : Kernel.Proc.t) ->
+            [
+              string_of_int p.pid;
+              p.name;
+              Fmt.str "%a" Kernel.Proc.pp_state p.state;
+              string_of_int (proc_frames p);
+              string_of_int p.p_insns;
+            ])
+          (Kernel.Machine.procs m)))
+
+let spawn_cmd =
+  let copies_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "copies" ] ~docv:"N" ~doc:"Identical guests to spawn.")
+  in
+  let share_arg =
+    Arg.(
+      value & flag
+      & info [ "share-images" ]
+          ~doc:
+            "Loader COW: back every copy's read-only image pages with the same \
+             physical frames (copied privately on first write).")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt int 32768
+      & info [ "frames" ] ~docv:"N" ~doc:"Physical frames on the machine.")
+  in
+  let ps_flag =
+    Arg.(
+      value & flag & info [ "ps" ] ~doc:"Print the process table after the run.")
+  in
+  let run metrics trace chrome defense copies share frames ps fuel =
+    if copies < 1 then die "--copies must be at least 1, got %d" copies;
+    let obs = make_obs ~metrics ~trace ~chrome in
+    let k =
+      Kernel.Os.create ~obs ~frames ~tlb_fill:(Defense.tlb_fill defense)
+        ~share_images:share
+        ~protection:(Defense.to_protection defense) ()
+    in
+    let img = Workload.Guests.scale_unit ~rounds:2 () in
+    for _ = 1 to copies do
+      ignore (Kernel.Os.spawn k img : Kernel.Proc.t)
+    done;
+    let stop = Kernel.Os.run ~fuel k in
+    Fmt.pr "spawned %d x %s under %s%s: %s@." copies img.Kernel.Image.name
+      (Defense.name defense)
+      (if share then " (shared images)" else "")
+      (stop_name stop);
+    Fmt.pr "peak frames in use: %d@."
+      (Kernel.Frame_alloc.peak_in_use (Kernel.Os.alloc k));
+    show_machine k;
+    if ps then ps_table k;
+    finish_obs obs ~metrics ~trace ~chrome
+  in
+  Cmd.v
+    (Cmd.info "spawn"
+       ~doc:
+         "Spawn N identical guests on one machine and run them to completion — \
+          the 10k-process scale-out path ($(b,--copies 10000 --share-images)). \
+          Spawn cost is O(1) in image size (memoized verification) and, with \
+          $(b,--share-images), the copies share their read-only image frames.")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ chrome_arg $ defense_arg $ copies_arg
+      $ share_arg $ frames_arg $ ps_flag
+      $ fuel_arg ~default:200_000_000 ~doc:"Instruction budget for the run.")
+
+let ps_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot file written by $(b,simctl snapshot).")
+  in
+  let run file =
+    let snap = load_snapshot file in
+    match
+      Option.bind (Snap.Snapshot.find_meta snap "scenario") Snap.Scenario.find
+    with
+    | None ->
+      die "snapshot %s names no known scenario (meta: %a)" file
+        Fmt.(list ~sep:comma (pair ~sep:(any "=") string string))
+        (Snap.Snapshot.meta snap)
+    | Some scenario ->
+      let os = scenario.start () in
+      Snap.Snapshot.restore os snap;
+      Fmt.pr "%s (scenario %s) at cycle %d@." file scenario.name
+        (Snap.Snapshot.cycle snap);
+      ps_table os
+  in
+  Cmd.v
+    (Cmd.info "ps"
+       ~doc:
+         "Load a snapshot and print its process table, pid-sorted: state, \
+          resident frames (split pages count their code and data copies), \
+          retired instructions. Does not resume execution.")
+    Term.(const run $ file_arg)
+
 let main =
   Cmd.group
     (Cmd.info "simctl" ~version:"1.0.0"
@@ -934,6 +1052,8 @@ let main =
       inject_cmd;
       reuse_cmd;
       profile_cmd;
+      spawn_cmd;
+      ps_cmd;
     ]
 
 (* --no-bbcache is global and position-independent: it must take effect

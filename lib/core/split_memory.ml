@@ -233,7 +233,14 @@ let protection ?(policy = Policy.All_pages) ?(response = Response.Break) ?(nx = 
         | None -> Kernel.Protection.Kill_process "code injection (forensics mode)"
         | Some code ->
           let base = eip / psz * psz in
-          Hw.Phys.blit_from_string ctx.phys ~frame:s.code_frame ~off:0 code;
+          (* the code frame may be a loader-COW frame shared with sibling
+             processes — privatize before overwriting it with the decoy *)
+          let code_frame = Kernel.Frame_alloc.unshare ctx.alloc s.code_frame in
+          if code_frame <> s.code_frame then begin
+            if pte.frame = s.code_frame then pte.frame <- code_frame;
+            pte.split <- Some { s with code_frame }
+          end;
+          Hw.Phys.blit_from_string ctx.phys ~frame:code_frame ~off:0 code;
           proc.regs.eip <- base;
           Hw.Mmu.invlpg ctx.mmu (eip / psz);
           Kernel.Event_log.add ctx.log

@@ -7,6 +7,11 @@ type region = {
   mutable writable : bool;
   mutable execable : bool;
   source : source;
+  mutable share : string option;
+      (* content digest of the backing segment when this region's read-only
+         pages may join the machine-wide shared-frame registry (loader
+         COW). Derived perf-only state: not serialized — recomputed from
+         the region source by [Machine.rebuild_shares] after a restore. *)
 }
 
 type t = {

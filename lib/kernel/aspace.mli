@@ -12,6 +12,11 @@ type region = {
   mutable writable : bool;
   mutable execable : bool;
   source : source;
+  mutable share : string option;
+      (** backing-segment content digest when read-only pages of this
+          region may join the shared-frame registry (loader COW). Derived
+          perf-only state — never serialized; recomputed from the region
+          source by [Machine.rebuild_shares] after a restore. *)
 }
 
 type t = {

@@ -32,14 +32,38 @@ val set_deny_next : t -> int -> unit
 val deny_next : t -> int
 (** Remaining injected denials. *)
 
+val register_share : t -> key:string -> frame:int -> unit
+(** Publish an allocated frame in the shared-image registry under a
+    content key (["digest/vpn"]). Later loads of the same key find it via
+    {!find_share} and join with {!incref} instead of allocating a private
+    copy. The entry drops automatically when the frame's refcount reaches
+    zero. Registry state is derived and perf-only: it is not serialized
+    and {!import} clears it. *)
+
+val find_share : t -> string -> int option
+(** The registered frame for a content key, if still allocated. *)
+
+val is_shared : t -> int -> bool
+(** Whether the frame is currently published in the registry. *)
+
+val unshare : t -> int -> int
+(** Privatize ahead of a store: for a registered frame with other
+    references, allocate-and-copy a private frame (returned; the caller
+    repoints its PTE and drops nothing — the copy starts at refcount 1 and
+    the original loses one reference). For a sole-owner registered frame,
+    just unregister and return it. Unregistered frames — including all
+    fork-COW sharing — are returned untouched. @raise Out_of_frames. *)
+
 type state = {
-  s_free : int list;  (** free stack, top first — preserves allocation order *)
+  s_free : int list;  (** free frames, ascending *)
   s_refcount : int array;
   s_in_use : int;
   s_peak_in_use : int;
 }
-(** Serializable allocator state. The free list is kept in stack order so a
-    restored machine hands out the same frame numbers as the original. *)
+(** Serializable allocator state. Selection is deterministic lowest-
+    address-first, so the free {e set} alone (any order accepted on
+    import) makes a restored machine hand out the same frame numbers as
+    the original. *)
 
 val export : t -> state
 (** Deep copy — later allocator activity does not mutate the export. *)

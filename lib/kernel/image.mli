@@ -46,6 +46,10 @@ val build :
     page" case of the paper's Fig. 1b.
     @raise Unknown_label on a reference to an undefined label. *)
 
+val signable : t -> string list
+(** The canonical string rendering of everything the signature covers —
+    also the input to the loader's content digest (shared-image COW). *)
+
 val seal : t -> t
 (** Recompute the signature (what a trusted build system does). *)
 

@@ -50,6 +50,26 @@ type t = {
   log : Event_log.t;
   protection : Protection.t;
   procs : (int, Proc.t) Hashtbl.t;
+  (* parent pid -> live child pids, ascending — keeps [children_of]
+     O(children) instead of a full-table scan. Maintained by fork/reap,
+     rebuilt wholesale by [replace_procs]. *)
+  children_index : (int, int list) Hashtbl.t;
+  (* Event-driven wakeups: pids whose blocking condition may have flipped
+     since the last scheduler boundary. Pipes and the zombie transition
+     push here (through [wakeup_sink], one shared closure attached to every
+     pipe the machine owns); [Sched.wake] drains, rechecks and enqueues.
+     May hold duplicates and stale/ready-anyway pids — the recheck filters,
+     so a spurious entry is harmless. *)
+  mutable pending_wakeups : int list;
+  mutable wakeup_sink : int -> unit;
+  (* Loader COW: share read-only image-backed frames across spawns of
+     identical guests, keyed by content digest. Off by default so existing
+     scenarios keep their exact frame trajectories; the 10k-process scale
+     paths opt in. *)
+  share_images : bool;
+  (* memoized per-image verify/digest results, keyed by physical equality —
+     spawn cost must not scale with image size *)
+  mutable image_memo : (Image.t * (bool * (int * string) list)) list;
   libraries : (string, library) Hashtbl.t;
   mutable lib_cursor : int;
   runq : int Queue.t;
@@ -133,7 +153,7 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     ?(itlb_capacity = 64) ?(dtlb_capacity = 64) ?tlb_policy
     ?(stack_jitter_pages = 0) ?(verify_signatures = true) ?(seed = 7)
     ?(tlb_fill = Hw.Mmu.Hardware_walk) ?(caches = false) ?(obs = Obs.null)
-    ?bbcache ~protection () =
+    ?bbcache ?(share_images = false) ~protection () =
   let phys = Hw.Phys.create ~page_size ~frames () in
   let cost = Hw.Cost.create ?params:cost_params () in
   let mmu = Hw.Mmu.create ~itlb_capacity ~dtlb_capacity ?tlb_policy ~phys ~cost () in
@@ -169,17 +189,23 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
         }
     end
   in
-  {
-    phys;
-    alloc = Frame_alloc.create phys;
-    mmu;
-    env;
-    bbcache;
-    cost;
-    log;
-    protection;
-    procs = Hashtbl.create 8;
-    libraries = Hashtbl.create 4;
+  let t =
+    {
+      phys;
+      alloc = Frame_alloc.create phys;
+      mmu;
+      env;
+      bbcache;
+      cost;
+      log;
+      protection;
+      procs = Hashtbl.create 8;
+      children_index = Hashtbl.create 8;
+      pending_wakeups = [];
+      wakeup_sink = ignore;
+      share_images;
+      image_memo = [];
+      libraries = Hashtbl.create 4;
     lib_cursor = Layout.lib_base + 0x100000;
     runq = Queue.create ();
     rng = Random.State.make [| seed |];
@@ -194,12 +220,15 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
     obs;
     hot;
     scratch = Bytes.create page_size;
-    sched_hook = None;
-    syscall_tracer = None;
-    inject_hook = None;
-    syscall_squeeze = None;
-    switch_hook = None;
-  }
+      sched_hook = None;
+      syscall_tracer = None;
+      inject_hook = None;
+      syscall_squeeze = None;
+      switch_hook = None;
+    }
+  in
+  t.wakeup_sink <- (fun pid -> t.pending_wakeups <- pid :: t.pending_wakeups);
+  t
 
 let ctx t : Protection.ctx =
   { phys = t.phys; alloc = t.alloc; mmu = t.mmu; cost = t.cost; log = t.log; obs = t.obs }
@@ -237,23 +266,95 @@ let tamper_library t name =
       Bytes.set bytes 0 (Char.chr (Char.code (Bytes.get bytes 0) lxor 0xFF));
     Hashtbl.replace t.libraries name { lib with code = Bytes.to_string bytes }
 
+(* O(children), pid-ascending (the index lists are kept sorted; pids are
+   never reused) — same order the seed's filtered [procs] scan produced. *)
 let children_of t parent =
-  List.filter (fun (p : Proc.t) -> p.parent = Some parent.Proc.pid) (procs t)
+  match Hashtbl.find_opt t.children_index parent.Proc.pid with
+  | None -> []
+  | Some pids -> List.filter_map (fun pid -> Hashtbl.find_opt t.procs pid) pids
 
-let enqueue t (p : Proc.t) = Queue.add p.pid t.runq
+let enqueue t (p : Proc.t) =
+  if not p.in_runq then begin
+    p.in_runq <- true;
+    Queue.add p.pid t.runq
+  end
+
+(* Remove a reaped zombie from the table and both sides of the children
+   index (its own children become orphans, exactly as under the seed's
+   scan — [children_of] was only ever asked about live processes). *)
+let reap t (z : Proc.t) =
+  Hashtbl.remove t.procs z.pid;
+  (match z.parent with
+  | Some pp -> (
+    match Hashtbl.find_opt t.children_index pp with
+    | Some cs -> Hashtbl.replace t.children_index pp (List.filter (fun c -> c <> z.pid) cs)
+    | None -> ())
+  | None -> ());
+  Hashtbl.remove t.children_index z.pid
+
+(* ------------------------------------------------------------------ *)
+(* Wait queues                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let attach_pipe t pipe = Pipe.set_wakeup pipe t.wakeup_sink
+
+let attach_proc_pipes t (p : Proc.t) =
+  attach_pipe t p.console_in;
+  attach_pipe t p.console_out;
+  Hashtbl.iter
+    (fun _ obj ->
+      match obj with
+      | Proc.Read_end pipe | Proc.Write_end pipe -> attach_pipe t pipe)
+    p.fds
+
+(* Register a blocked process where its wake condition can actually flip:
+   the pipe behind the fd for I/O waits; nowhere for child waits (the
+   zombie transition in [terminate] notifies the parent directly). A
+   mismatched or missing fd is ready by definition, so it goes straight to
+   the pending list for the next boundary's recheck. *)
+let register_wait t (p : Proc.t) = function
+  | Proc.Read_fd fd -> (
+    match Proc.fd p fd with
+    | Some (Read_end pipe) -> Pipe.add_read_waiter pipe p.pid
+    | Some (Write_end _) | None -> t.wakeup_sink p.pid)
+  | Proc.Write_fd fd -> (
+    match Proc.fd p fd with
+    | Some (Write_end pipe) -> Pipe.add_write_waiter pipe p.pid
+    | Some (Read_end _) | None -> t.wakeup_sink p.pid)
+  | Proc.Child _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Demand paging                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let map_demand_page t (p : Proc.t) (region : Aspace.region) vpn =
-  let frame = Frame_alloc.alloc t.alloc in
-  Aspace.blit_page_content p.aspace region vpn t.scratch;
-  Hw.Phys.blit_from_bytes t.phys ~frame t.scratch ~len:t.page_size;
-  let pte = Pte.make ~vpn ~kind:region.kind ~frame ~writable:region.writable in
-  if p.protected_ then t.protection.on_page_mapped (ctx t) p region pte;
-  Aspace.set_pte p.aspace pte;
-  pte
+  let finish frame =
+    let pte = Pte.make ~vpn ~kind:region.kind ~frame ~writable:region.writable in
+    if p.protected_ then t.protection.on_page_mapped (ctx t) p region pte;
+    Aspace.set_pte p.aspace pte;
+    pte
+  in
+  let fresh () =
+    let frame = Frame_alloc.alloc t.alloc in
+    Aspace.blit_page_content p.aspace region vpn t.scratch;
+    Hw.Phys.blit_from_bytes t.phys ~frame t.scratch ~len:t.page_size;
+    frame
+  in
+  match region.share with
+  | Some digest when not region.writable -> (
+    (* Loader COW: identical read-only image pages across spawns share one
+       refcounted frame. A split defense still draws its private data copy
+       from this frame in [on_page_mapped]; only the text stays shared. *)
+    let key = digest ^ "/" ^ string_of_int vpn in
+    match Frame_alloc.find_share t.alloc key with
+    | Some frame ->
+      Frame_alloc.incref t.alloc frame;
+      finish frame
+    | None ->
+      let frame = fresh () in
+      Frame_alloc.register_share t.alloc ~key ~frame;
+      finish frame)
+  | Some _ | None -> finish (fresh ())
 
 (* ------------------------------------------------------------------ *)
 (* Copy-on-write                                                       *)
@@ -362,6 +463,9 @@ let terminate t (p : Proc.t) status =
   free_aspace t p;
   Proc.close_all_fds p;
   p.state <- Zombie status;
+  (* zombie transition: the only event that can flip a parent's Child wait
+     condition, so notify it unconditionally — the wake recheck filters *)
+  (match p.parent with Some pp -> t.wakeup_sink pp | None -> ());
   Event_log.add t.log (Process_exited { pid = p.pid; status = Proc.status_string status })
 
 let kill t (p : Proc.t) signal =
@@ -381,7 +485,33 @@ let oom_kill t (p : Proc.t) =
 (* Loader                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let region_of_segment t (seg : Image.segment) : Aspace.region =
+(* Share keys are content digests of a segment as serialized in region
+   sources (base + bytes) — not of the whole image — so a snapshot restore
+   can re-derive them from the regions alone ([rebuild_shares]). *)
+let share_key ~base ~bytes =
+  Digest.to_hex (Digest.string (string_of_int base ^ ":" ^ bytes))
+
+(* Per-image verify result and per-segment share keys, memoized by
+   physical equality so a 10k-copy spawn loop pays the O(image) walks
+   once. The memo is capped — benches build images once and spawn many
+   times. *)
+let image_memo t (image : Image.t) =
+  match List.find_opt (fun (i, _) -> i == image) t.image_memo with
+  | Some (_, entry) -> entry
+  | None ->
+    let verified = (not t.verify_signatures) || Image.verify image in
+    let seg_keys =
+      List.filter_map
+        (fun (s : Image.segment) ->
+          if s.writable then None
+          else Some (s.base, share_key ~base:s.base ~bytes:s.bytes))
+        image.segments
+    in
+    let entry = (verified, seg_keys) in
+    t.image_memo <- (image, entry) :: List.filteri (fun i _ -> i < 15) t.image_memo;
+    entry
+
+let region_of_segment t ?share (seg : Image.segment) : Aspace.region =
   let lo = seg.base / t.page_size in
   let hi = (seg.base + String.length seg.bytes + t.page_size - 1) / t.page_size in
   let kind, execable =
@@ -392,10 +522,19 @@ let region_of_segment t (seg : Image.segment) : Aspace.region =
     | Image.Mixed -> (Pte.Mixed, true)
     | Image.Lib -> (Pte.Lib, true)
   in
-  { lo; hi; kind; writable = seg.writable; execable; source = Image_bytes { base = seg.base; bytes = seg.bytes } }
+  {
+    lo;
+    hi;
+    kind;
+    writable = seg.writable;
+    execable;
+    source = Image_bytes { base = seg.base; bytes = seg.bytes };
+    share = (if seg.writable then None else share);
+  }
 
 let spawn t ?(eager = false) ?(protected = true) ?name (image : Image.t) =
-  if t.verify_signatures && not (Image.verify image) then begin
+  let verified, seg_keys = image_memo t image in
+  if not verified then begin
     Event_log.add t.log (Library_rejected { name = image.name });
     raise (Rejected_image image.name)
   end;
@@ -403,7 +542,11 @@ let spawn t ?(eager = false) ?(protected = true) ?name (image : Image.t) =
   t.next_pid <- pid + 1;
   let name = Option.value name ~default:image.name in
   let aspace = Aspace.create ~page_size:t.page_size in
-  List.iter (fun seg -> Aspace.add_region aspace (region_of_segment t seg)) image.segments;
+  List.iter
+    (fun (seg : Image.segment) ->
+      let share = if t.share_images then List.assoc_opt seg.base seg_keys else None in
+      Aspace.add_region aspace (region_of_segment t ?share seg))
+    image.segments;
   if image.bss_size > 0 then
     Aspace.add_region aspace
       {
@@ -413,6 +556,7 @@ let spawn t ?(eager = false) ?(protected = true) ?name (image : Image.t) =
         writable = true;
         execable = false;
         source = Zero;
+        share = None;
       };
   Aspace.add_region aspace
     {
@@ -422,6 +566,7 @@ let spawn t ?(eager = false) ?(protected = true) ?name (image : Image.t) =
       writable = true;
       execable = false;
       source = Zero;
+      share = None;
     };
   Aspace.add_region aspace
     {
@@ -431,8 +576,10 @@ let spawn t ?(eager = false) ?(protected = true) ?name (image : Image.t) =
       writable = true;
       execable = false;
       source = Zero;
+      share = None;
     };
   let p = Proc.create ~pid ~name ~aspace in
+  attach_proc_pipes t p;
   p.protected_ <- protected;
   p.regs.eip <- image.entry;
   let jitter =
@@ -463,9 +610,11 @@ let feed_stdin _t (p : Proc.t) s = Pipe.write p.console_in s
 let close_stdin _t (p : Proc.t) = Pipe.close_writer p.console_in
 let read_stdout _t (p : Proc.t) = Pipe.drain p.console_out
 
-let connect ?capacity _t (a : Proc.t) (b : Proc.t) =
+let connect ?capacity t (a : Proc.t) (b : Proc.t) =
   let ab = Pipe.create ?capacity ~name:(Fmt.str "%s->%s" a.name b.name) () in
   let ba = Pipe.create ?capacity ~name:(Fmt.str "%s->%s" b.name a.name) () in
+  attach_pipe t ab;
+  attach_pipe t ba;
   ignore (Proc.close_fd a 1);
   ignore (Proc.close_fd b 0);
   ignore (Proc.close_fd b 1);
@@ -473,7 +622,11 @@ let connect ?capacity _t (a : Proc.t) (b : Proc.t) =
   Proc.replace_fd a 1 (Write_end ab);
   Proc.replace_fd b 0 (Read_end ab);
   Proc.replace_fd b 1 (Write_end ba);
-  Proc.replace_fd a 0 (Read_end ba)
+  Proc.replace_fd a 0 (Read_end ba);
+  (* either endpoint may be blocked on the fds just rewired — re-register
+     against the new pipes at the next boundary *)
+  t.wakeup_sink a.pid;
+  t.wakeup_sink b.pid
 
 (* ------------------------------------------------------------------ *)
 (* Fork                                                                *)
@@ -518,6 +671,7 @@ let do_fork t (parent : Proc.t) =
   (* The parent's DTLB may cache stale writable mappings. *)
   Hw.Mmu.flush_tlbs t.mmu;
   let child = Proc.create ~pid ~name:(Fmt.str "%s.%d" parent.name pid) ~aspace in
+  attach_proc_pipes t child;
   (* Inherit the parent's descriptor table (drop the fresh console fds). *)
   Proc.close_all_fds child;
   Hashtbl.iter
@@ -539,6 +693,9 @@ let do_fork t (parent : Proc.t) =
   Hw.Cpu.set child.regs Isa.Reg.EAX 0;
   child.parent <- Some parent.pid;
   Hashtbl.replace t.procs pid child;
+  (* pids are monotonic, so appending keeps the index ascending *)
+  let siblings = Option.value (Hashtbl.find_opt t.children_index parent.pid) ~default:[] in
+  Hashtbl.replace t.children_index parent.pid (siblings @ [ pid ]);
   enqueue t child;
   pid
 
@@ -555,10 +712,11 @@ let preview s =
   in
   if String.length clean > 40 then String.sub clean 0 40 ^ "..." else clean
 
-let block (p : Proc.t) cond =
+let block t (p : Proc.t) cond =
   (* Rewind over [int 0x80] so the syscall re-executes on wake-up. *)
   p.regs.eip <- p.regs.eip - 2;
-  p.state <- Blocked cond
+  p.state <- Blocked cond;
+  register_wait t p cond
 
 let load_pagetables t (p : Proc.t) =
   if t.protection.dual_pagetables then
@@ -581,4 +739,85 @@ let restore_libraries t libs =
 
 let replace_procs t ps =
   Hashtbl.reset t.procs;
-  List.iter (fun (p : Proc.t) -> Hashtbl.replace t.procs p.pid p) ps
+  List.iter (fun (p : Proc.t) -> Hashtbl.replace t.procs p.pid p) ps;
+  (* Re-derive every index the live machine maintains incrementally. *)
+  Hashtbl.reset t.children_index;
+  List.iter
+    (fun (p : Proc.t) ->
+      match p.parent with
+      | Some pp ->
+        let siblings = Option.value (Hashtbl.find_opt t.children_index pp) ~default:[] in
+        Hashtbl.replace t.children_index pp (siblings @ [ p.pid ])
+      | None -> ())
+    ps;
+  Hashtbl.iter
+    (fun pp cs -> Hashtbl.replace t.children_index pp (List.sort compare cs))
+    (Hashtbl.copy t.children_index);
+  (* Restored pipes carry no waiter registrations, so seed the pending list
+     with every blocked pid: the first wake rechecks them all (exactly the
+     seed's scan) and re-registers the still-blocked ones on their pipes. *)
+  List.iter (fun (p : Proc.t) -> attach_proc_pipes t p) ps;
+  t.pending_wakeups <- [];
+  List.iter
+    (fun (p : Proc.t) ->
+      match p.state with Proc.Blocked _ -> t.wakeup_sink p.pid | _ -> ())
+    ps
+
+(* Re-derive the shared-frame registry after a snapshot restore. The
+   registry is perf-only state and is not serialized, but replay
+   determinism still requires a restored machine to share exactly as the
+   original did — frame-pool pressure is observable through OOM kills.
+   Share keys are content digests of the serialized region source, so this
+   walk reconstructs the registry from the regions alone: under
+   [share_images], every non-split PTE of a read-only image-backed region
+   came from the share path, and all its sharers hold the same frame.
+   (A region mprotect-ed writable is excluded — its restored PTEs were
+   privatized before the snapshot.) *)
+let rebuild_shares t =
+  if t.share_images then begin
+    (* The shared frame of a key is held as [pte.frame] by unsplit sharers
+       and lives on as the split structure's code frame after a page
+       splits, so collect code-frame votes across every holder and
+       register the majority frame (ties break to the lowest frame — only
+       reachable when a Forensics privatization left a lone dissenting
+       copy, where either pick keeps replay deterministic). *)
+    let votes : (string, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (p : Proc.t) ->
+        List.iter
+          (fun (r : Aspace.region) ->
+            match r.source with
+            | Aspace.Image_bytes { base; bytes } when not r.writable ->
+              let key = share_key ~base ~bytes in
+              r.share <- Some key;
+              for vpn = r.lo to r.hi - 1 do
+                match Aspace.pte p.aspace vpn with
+                | Some pte ->
+                  let frame = Pte.code_frame pte in
+                  let k = key ^ "/" ^ string_of_int vpn in
+                  let tbl =
+                    match Hashtbl.find_opt votes k with
+                    | Some tbl -> tbl
+                    | None ->
+                      let tbl = Hashtbl.create 4 in
+                      Hashtbl.replace votes k tbl;
+                      tbl
+                  in
+                  Hashtbl.replace tbl frame
+                    (1 + Option.value (Hashtbl.find_opt tbl frame) ~default:0)
+                | None -> ()
+              done
+            | Aspace.Image_bytes _ | Aspace.Zero -> ())
+          (Aspace.regions p.aspace))
+      (procs t);
+    Hashtbl.iter
+      (fun k tbl ->
+        let frame, _ =
+          Hashtbl.fold
+            (fun f n (bf, bn) ->
+              if n > bn || (n = bn && f < bf) then (f, n) else (bf, bn))
+            tbl (max_int, 0)
+        in
+        Frame_alloc.register_share t.alloc ~key:k ~frame)
+      votes
+  end

@@ -58,6 +58,26 @@ type t = {
   log : Event_log.t;
   protection : Protection.t;
   procs : (int, Proc.t) Hashtbl.t;
+  children_index : (int, int list) Hashtbl.t;
+      (** parent pid -> live child pids, ascending — [children_of] is
+          O(children). Maintained by fork/{!reap}; rebuilt by
+          {!replace_procs} *)
+  mutable pending_wakeups : int list;
+      (** pids whose blocking condition may have flipped since the last
+          scheduler boundary (pipe activity, zombie transitions); drained
+          and rechecked by [Sched.wake]. Duplicates and stale pids are
+          fine — the recheck filters *)
+  mutable wakeup_sink : int -> unit;
+      (** the one shared closure pushing onto [pending_wakeups]; attached
+          to every pipe the machine owns via {!attach_pipe} *)
+  share_images : bool;
+      (** loader COW: share read-only image-backed frames across spawns of
+          identical guests (default off — opt-in for scale runs, so
+          existing scenarios keep their exact frame trajectories) *)
+  mutable image_memo : (Image.t * (bool * (int * string) list)) list;
+      (** per-image (verify result, per-read-only-segment share keys by
+          base), memoized by physical equality so spawn cost is
+          independent of image size *)
   libraries : (string, library) Hashtbl.t;
   mutable lib_cursor : int;
   runq : int Queue.t;
@@ -102,6 +122,7 @@ val create :
   ?caches:bool ->
   ?obs:Obs.t ->
   ?bbcache:bool ->
+  ?share_images:bool ->
   protection:Protection.t ->
   unit ->
   t
@@ -123,7 +144,30 @@ val procs : t -> Proc.t list
 val register_library : t -> string -> Isa.Asm.program -> int
 val tamper_library : t -> string -> unit
 val children_of : t -> Proc.t -> Proc.t list
+(** O(children) via the index; pid-ascending. *)
+
 val enqueue : t -> Proc.t -> unit
+(** Queue for execution; a no-op when the process is already queued
+    ([Proc.in_runq]). *)
+
+val reap : t -> Proc.t -> unit
+(** Remove a waited-on zombie from the process table and the children
+    index (both as a child and as a parent). *)
+
+val attach_pipe : t -> Pipe.t -> unit
+(** Point the pipe's wakeup sink at this machine's pending list. Every
+    pipe a machine owns must be attached at creation (spawn, fork, connect,
+    sys_pipe, snapshot restore) or blocked waiters on it would sleep
+    forever. *)
+
+val attach_proc_pipes : t -> Proc.t -> unit
+(** {!attach_pipe} on the consoles and every fd-held pipe end. *)
+
+val register_wait : t -> Proc.t -> Proc.wait_cond -> unit
+(** Register a blocked process where its condition can flip: the pipe
+    behind the fd for I/O waits (missing/mismatched fds go straight to the
+    pending list — they are ready by definition); nothing for child waits,
+    which {!terminate}'s zombie transition notifies directly. *)
 
 val map_demand_page : t -> Proc.t -> Aspace.region -> int -> Pte.t
 val cow_service : t -> Pte.t -> unit
@@ -160,9 +204,9 @@ val sebek_trace : t -> Proc.t -> string -> string -> unit
 val preview : string -> string
 (** Printable, truncated preview of guest bytes for log lines. *)
 
-val block : Proc.t -> Proc.wait_cond -> unit
-(** Block the process and rewind EIP over [int 0x80] so the syscall
-    re-executes on wake-up. *)
+val block : t -> Proc.t -> Proc.wait_cond -> unit
+(** Block the process, rewind EIP over [int 0x80] so the syscall
+    re-executes on wake-up, and {!register_wait} it. *)
 
 val load_pagetables : t -> Proc.t -> unit
 
@@ -173,4 +217,12 @@ val restore_libraries : t -> (string * library) list -> unit
 
 val replace_procs : t -> Proc.t list -> unit
 (** Replace the whole process table (snapshot restore). Does not touch
-    the run queue. *)
+    the run queue. Re-derives the children index, re-attaches every pipe's
+    wakeup sink, and seeds the pending list with all blocked pids so the
+    first wake rechecks them (restored pipes carry no waiter lists). *)
+
+val rebuild_shares : t -> unit
+(** Re-derive the shared-frame registry and the regions' share keys from
+    the restored process table (the registry is perf-only state and is
+    never serialized). Call after {!replace_procs} and the allocator
+    import; no-op unless [share_images]. *)

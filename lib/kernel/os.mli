@@ -40,6 +40,7 @@ val create :
   ?caches:bool ->
   ?obs:Obs.t ->
   ?bbcache:bool ->
+  ?share_images:bool ->
   protection:Protection.t ->
   unit ->
   t

@@ -6,6 +6,16 @@ type t = {
   mutable readers : int;
   mutable writers : int;
   mutable bytes_written : int;
+  (* Wait queues: pids blocked on this pipe, registered by the scheduler
+     layer. A state change that could unblock a side reports each waiting
+     pid through [wakeup] (attached by the owning machine) and clears that
+     side's list — the scheduler re-registers anyone still blocked after
+     rechecking the full wake condition, so a spurious notification is
+     harmless. Not serialized: lib/snap restore re-derives pending wakeups
+     from blocked-process state. *)
+  mutable read_waiters : int list;
+  mutable write_waiters : int list;
+  mutable wakeup : int -> unit;
 }
 
 let create ?(capacity = 65536) ~name () =
@@ -17,6 +27,9 @@ let create ?(capacity = 65536) ~name () =
     readers = 1;
     writers = 1;
     bytes_written = 0;
+    read_waiters = [];
+    write_waiters = [];
+    wakeup = ignore;
   }
 
 let name t = t.name
@@ -27,10 +40,40 @@ let has_writers t = t.writers > 0
 let has_readers t = t.readers > 0
 let bytes_written t = t.bytes_written
 
+let set_wakeup t f = t.wakeup <- f
+
+let add_read_waiter t pid =
+  if not (List.mem pid t.read_waiters) then t.read_waiters <- pid :: t.read_waiters
+
+let add_write_waiter t pid =
+  if not (List.mem pid t.write_waiters) then t.write_waiters <- pid :: t.write_waiters
+
+let notify_readers t =
+  match t.read_waiters with
+  | [] -> ()
+  | ws ->
+    t.read_waiters <- [];
+    List.iter t.wakeup ws
+
+let notify_writers t =
+  match t.write_waiters with
+  | [] -> ()
+  | ws ->
+    t.write_waiters <- [];
+    List.iter t.wakeup ws
+
 let add_reader t = t.readers <- t.readers + 1
 let add_writer t = t.writers <- t.writers + 1
-let close_reader t = t.readers <- max 0 (t.readers - 1)
-let close_writer t = t.writers <- max 0 (t.writers - 1)
+
+let close_reader t =
+  t.readers <- max 0 (t.readers - 1);
+  (* last reader gone -> writers see EPIPE; readers re-check EOF too *)
+  if t.readers = 0 then notify_writers t
+
+let close_writer t =
+  t.writers <- max 0 (t.writers - 1);
+  (* last writer gone -> blocked readers see EOF *)
+  if t.writers = 0 then notify_readers t
 
 (* Compact the internal buffer once the consumed prefix dominates, so a
    long-lived pipe doesn't grow without bound. *)
@@ -46,6 +89,7 @@ let write t s =
   let n = min (String.length s) (space t) in
   Buffer.add_substring t.buf s 0 n;
   t.bytes_written <- t.bytes_written + n;
+  if n > 0 then notify_readers t;
   n
 
 let read t ~max =
@@ -53,6 +97,7 @@ let read t ~max =
   let s = Buffer.sub t.buf t.read_pos n in
   t.read_pos <- t.read_pos + n;
   compact t;
+  if n > 0 then notify_writers t;
   s
 
 let drain t = read t ~max:(level t)

@@ -20,6 +20,19 @@ val add_writer : t -> unit
 val close_reader : t -> unit
 val close_writer : t -> unit
 
+val set_wakeup : t -> (int -> unit) -> unit
+(** Attach the owning machine's wakeup sink. Every state change that could
+    unblock a side ([write], [read]/[drain], the closing of the last
+    endpoint of either side) reports each registered waiting pid through
+    it. Defaults to [ignore]. *)
+
+val add_read_waiter : t -> int -> unit
+(** Register a pid blocked reading this pipe; dropped (and reported via the
+    wakeup sink) at the next readability change. Idempotent. *)
+
+val add_write_waiter : t -> int -> unit
+(** Register a pid blocked writing this pipe. Idempotent. *)
+
 val write : t -> string -> int
 (** Append up to the available space; returns the number of bytes taken. *)
 

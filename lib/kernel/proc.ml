@@ -35,6 +35,8 @@ type t = {
   console_in : Pipe.t;
   console_out : Pipe.t;
   mutable state : state;
+  mutable in_runq : bool;
+  mutable p_insns : int;
   mutable next_fd : int;
   mutable pending_fault_addr : int option;
   mutable sebek_active : bool;
@@ -70,6 +72,8 @@ let create ~pid ~name ~aspace =
       console_in;
       console_out;
       state = Runnable;
+      in_runq = false;
+      p_insns = 0;
       next_fd = 3;
       pending_fault_addr = None;
       sebek_active = false;

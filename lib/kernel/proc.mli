@@ -25,6 +25,12 @@ type t = {
   console_in : Pipe.t;  (** initially fd 0 — where exploit drivers inject *)
   console_out : Pipe.t;  (** initially fd 1 *)
   mutable state : state;
+  mutable in_runq : bool;
+      (** queued in the machine's run queue — lets [enqueue] never
+          double-queue and [dequeue_runnable] skip stale-pid churn *)
+  mutable p_insns : int;
+      (** instructions retired by this process (maintained by the
+          scheduler; not serialized — resets to 0 on snapshot restore) *)
   mutable next_fd : int;
   mutable pending_fault_addr : int option;
       (** set by Algorithm 1's code branch; consumed by Algorithm 2 *)

@@ -7,30 +7,61 @@ module M = Machine
 
 type stop_reason = All_exited | All_blocked | Fuel_exhausted
 
+(* The seed's wait-condition recheck, shared verbatim by both wake
+   implementations — equivalence of the two rests on this being the one
+   definition of "ready". *)
+let ready (m : M.t) (p : Proc.t) cond =
+  match cond with
+  | Proc.Read_fd fd -> (
+    match Proc.fd p fd with
+    | Some (Read_end pipe) -> not (Pipe.is_empty pipe) || not (Pipe.has_writers pipe)
+    | Some (Write_end _) | None -> true)
+  | Proc.Write_fd fd -> (
+    match Proc.fd p fd with
+    | Some (Write_end pipe) -> Pipe.space pipe > 0 || not (Pipe.has_readers pipe)
+    | Some (Read_end _) | None -> true)
+  | Proc.Child target ->
+    let children =
+      List.filter (fun (c : Proc.t) -> target = 0 || c.pid = target) (M.children_of m p)
+    in
+    children = [] || List.exists Proc.is_zombie children
+
+(* Event-driven wake: drain the pending-wakeup list the pipes and the
+   zombie transition fed since the last boundary, recheck each candidate
+   in ascending pid order (the same order the scan visited them), and
+   requeue the ready ones. A pending pid whose condition still does not
+   hold is re-registered on its pipe, so the next state flip pends it
+   again. O(woken), independent of the process count. *)
 let wake (m : M.t) =
+  match m.pending_wakeups with
+  | [] -> ()
+  | pending ->
+    m.pending_wakeups <- [];
+    List.iter
+      (fun pid ->
+        match M.proc m pid with
+        | Some p -> (
+          match p.state with
+          | Proc.Blocked cond ->
+            if ready m p cond then begin
+              p.state <- Proc.Runnable;
+              M.enqueue m p
+            end
+            else M.register_wait m p cond
+          | Proc.Runnable | Proc.Zombie _ -> ())
+        | None -> ())
+      (List.sort_uniq compare pending)
+
+(* The seed's scan-everything wake, kept as the reference implementation
+   for the equivalence harness (test/test_wake_equiv.ml). Clears the
+   pending list too, so the two modes never mix. *)
+let wake_scan (m : M.t) =
+  m.pending_wakeups <- [];
   List.iter
     (fun (p : Proc.t) ->
       match p.state with
       | Proc.Blocked cond ->
-        let ready =
-          match cond with
-          | Proc.Read_fd fd -> (
-            match Proc.fd p fd with
-            | Some (Read_end pipe) -> not (Pipe.is_empty pipe) || not (Pipe.has_writers pipe)
-            | Some (Write_end _) | None -> true)
-          | Proc.Write_fd fd -> (
-            match Proc.fd p fd with
-            | Some (Write_end pipe) -> Pipe.space pipe > 0 || not (Pipe.has_readers pipe)
-            | Some (Read_end _) | None -> true)
-          | Proc.Child target ->
-            let children =
-              List.filter
-                (fun (c : Proc.t) -> target = 0 || c.pid = target)
-                (M.children_of m p)
-            in
-            children = [] || List.exists Proc.is_zombie children
-        in
-        if ready then begin
+        if ready m p cond then begin
           p.state <- Proc.Runnable;
           M.enqueue m p
         end
@@ -42,10 +73,13 @@ let rec dequeue_runnable (m : M.t) =
   | None -> None
   | Some pid -> (
     match M.proc m pid with
-    | Some p when Proc.is_runnable p -> Some p
-    | Some _ | None -> dequeue_runnable m)
+    | Some p ->
+      p.in_runq <- false;
+      if Proc.is_runnable p then Some p else dequeue_runnable m
+    | None -> dequeue_runnable m)
 
-let all_zombie (m : M.t) = List.for_all Proc.is_zombie (M.procs m)
+let all_zombie (m : M.t) =
+  Hashtbl.fold (fun _ p acc -> acc && Proc.is_zombie p) m.procs true
 
 let switch_to (m : M.t) (p : Proc.t) =
   if m.last_running <> Some p.pid then begin
@@ -100,6 +134,7 @@ let run_quantum ?table (m : M.t) (p : Proc.t) fuel =
     && (not (Hw.Mmu.has_tlb_guard m.mmu))
     && not (Hw.Phys.ecc_enabled m.phys)
   in
+  let insns0 = m.cost.insns in
   let steps = ref m.quantum in
   while Proc.is_runnable p && !steps > 0 && !fuel > 0 do
     timer_tick m;
@@ -125,12 +160,16 @@ let run_quantum ?table (m : M.t) (p : Proc.t) fuel =
       Trap.deliver ?table m p r
     end
   done;
+  p.p_insns <- p.p_insns + (m.cost.insns - insns0);
   if Proc.is_runnable p then M.enqueue m p
 
-let run ?(fuel = 50_000_000) ?table (m : M.t) =
+let wake_for scan = if scan then wake_scan else wake
+
+let run ?(fuel = 50_000_000) ?(wake_scan = false) ?table (m : M.t) =
   let fuel = ref fuel in
+  let do_wake = wake_for wake_scan in
   let rec loop () =
-    wake m;
+    do_wake m;
     (* quantum-boundary hook: the machine is in a consistent, resumable
        state here (no quantum in flight), which is exactly where periodic
        checkpointing must sample it *)
@@ -176,7 +215,11 @@ let state (m : M.t) =
 
 let restore (m : M.t) (s : state) =
   Queue.clear m.runq;
-  List.iter (fun pid -> Queue.add pid m.runq) s.s_runq;
+  List.iter
+    (fun pid ->
+      (match M.proc m pid with Some p -> p.in_runq <- true | None -> ());
+      Queue.add pid m.runq)
+    s.s_runq;
   m.rng <- Random.State.copy s.s_rng;
   m.last_running <- s.s_last_running;
   m.next_pid <- s.s_next_pid;

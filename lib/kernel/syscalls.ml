@@ -52,7 +52,7 @@ let sys_read (m : M.t) (p : Proc.t) =
       M.sebek_trace m p "read" (Fmt.str "fd=%d %S" fd (M.preview s));
       ret p (String.length s)
     end
-    else if Pipe.has_writers pipe then M.block p (Proc.Read_fd fd)
+    else if Pipe.has_writers pipe then M.block m p (Proc.Read_fd fd)
     else ret p 0
   | Some (Write_end _) | None -> ret p (-9)
 
@@ -62,7 +62,7 @@ let sys_write (m : M.t) (p : Proc.t) =
   match Proc.fd p fd with
   | Some (Write_end pipe) ->
     if not (Pipe.has_readers pipe) then M.kill m p Proc.Sigpipe
-    else if Pipe.space pipe = 0 then M.block p (Proc.Write_fd fd)
+    else if Pipe.space pipe = 0 then M.block m p (Proc.Write_fd fd)
     else begin
       let chunk = min len (Pipe.space pipe) in
       let s = M.copy_from_user m p buf chunk in
@@ -87,10 +87,10 @@ let sys_waitpid (m : M.t) p =
   | _ -> (
     match List.find_opt Proc.is_zombie children with
     | Some z ->
-      Hashtbl.remove m.procs z.pid;
+      M.reap m z;
       M.sebek_trace m p "waitpid" (Fmt.str "-> %d" z.pid);
       ret p z.pid
-    | None -> M.block p (Proc.Child target))
+    | None -> M.block m p (Proc.Child target))
 
 (* execve(path) — in this model: log the spawn and continue *)
 let sys_execve (m : M.t) (p : Proc.t) =
@@ -107,6 +107,7 @@ let sys_getpid (_m : M.t) (p : Proc.t) = ret p p.pid
 (* pipe(fds_ptr) *)
 let sys_pipe (m : M.t) (p : Proc.t) =
   let pipe = Pipe.create ~name:(Fmt.str "pipe.%d" p.pid) () in
+  M.attach_pipe m pipe;
   let rfd = Proc.install_fd p (Read_end pipe) in
   let wfd = Proc.install_fd p (Write_end pipe) in
   let addr = arg p Isa.Reg.EBX in
@@ -146,6 +147,7 @@ let sys_mmap (m : M.t) (p : Proc.t) =
         writable = prot land 2 <> 0;
         execable = prot land 4 <> 0;
         source = Zero;
+        share = None;
       };
     p.aspace.mmap_cursor <- base + ((pages + 1) * m.page_size);
     M.sebek_trace m p "mmap" (Fmt.str "len=%d prot=%d -> 0x%08x" len prot base);
@@ -168,6 +170,13 @@ let sys_mprotect (m : M.t) (p : Proc.t) =
   for vpn = lo to hi - 1 do
     match Aspace.pte p.aspace vpn with
     | Some pte ->
+      (* a frame published in the shared-image registry must be privatized
+         before it can legitimately become writable (split pages already
+         write to their private data copy) *)
+      if writable && pte.split = None then begin
+        let frame = Frame_alloc.unshare m.alloc pte.frame in
+        if frame <> pte.frame then pte.frame <- frame
+      end;
       pte.writable <- writable;
       pte.orig_writable <- writable;
       pte.nx <- m.protection.nx_hardware && not execable;
@@ -205,6 +214,7 @@ let sys_uselib (m : M.t) (p : Proc.t) =
             writable = false;
             execable = true;
             source = Image_bytes { base = lib.lib_base; bytes = lib.code };
+            share = None;
           };
       M.sebek_trace m p "uselib" (Fmt.str "%S -> 0x%08x" name lib.lib_base);
       ret p lib.lib_base

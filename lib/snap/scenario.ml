@@ -129,6 +129,31 @@ let all =
     reuse ~name:"reuse-fptr-cfi"
       ~descr:"function-pointer clobber into existing text under CFI alone"
       ~defense:Defense.cfi Reuse.Campaign.Fptr_clobber;
+    (* Scale-out: 10k identical protected guests sharing their image
+       frames (loader COW). Exercises indexed wakeups, the children index
+       and refcounted shared frames across snapshot/replay — a mid-run
+       checkpoint here serializes the whole 10k-process machine. Under the
+       mixed-only split policy nothing in this guest splits, so the image
+       frames stay fully shared and the machine's private footprint is
+       per-process stacks only. *)
+    (let defense = Defense.split_mixed_plus_nx in
+     {
+       name = "scale";
+       descr = "10k identical COW-shared guests under split memory + NX";
+       defense;
+       start =
+         (fun ?obs () ->
+           let k =
+             Kernel.Os.create ?obs ~frames:32768
+               ~tlb_fill:(Defense.tlb_fill defense) ~share_images:true
+               ~protection:(Defense.to_protection defense) ()
+           in
+           let img = Workload.Guests.scale_unit ~rounds:2 () in
+           for _ = 1 to 10_000 do
+             ignore (Kernel.Os.spawn k img : Kernel.Proc.t)
+           done;
+           k);
+     });
   ]
 
 let names = List.map (fun s -> s.name) all

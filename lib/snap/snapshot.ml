@@ -48,6 +48,7 @@ type proc_state = {
   pr_recovery : int option;
   pr_trace : int array;
   pr_trace_pos : int;
+  pr_insns : int;  (* per-process retired-instruction count *)
   pr_protected : bool;
   pr_console_in : int;  (* pipe registry ids *)
   pr_console_out : int;
@@ -272,6 +273,7 @@ let export_pipes_and_procs os =
       pr_recovery = p.recovery_handler;
       pr_trace = Array.copy p.trace;
       pr_trace_pos = p.trace_pos;
+      pr_insns = p.p_insns;
       pr_protected = p.protected_;
       pr_console_in = console_in;
       pr_console_out = console_out;
@@ -414,6 +416,9 @@ let restore os snap =
               (match rs.rs_source with
               | None -> Kernel.Aspace.Zero
               | Some (base, bytes) -> Kernel.Aspace.Image_bytes { base; bytes });
+            (* derived perf-only state, deliberately not serialized:
+               recomputed by [Machine.rebuild_shares] below *)
+            share = None;
           })
         ps.pr_regions;
     List.iter
@@ -453,6 +458,10 @@ let restore os snap =
         console_in = pipe ps.pr_console_in;
         console_out = pipe ps.pr_console_out;
         state = proc_state_of_fields ps.pr_state ps.pr_wait ps.pr_exit;
+        (* scheduler-derived, not serialized: [Sched.restore] re-marks the
+           queued pids *)
+        in_runq = false;
+        p_insns = ps.pr_insns;
         next_fd = ps.pr_next_fd;
         pending_fault_addr = ps.pr_pending_fault;
         sebek_active = ps.pr_sebek;
@@ -469,6 +478,7 @@ let restore os snap =
     p
   in
   Kernel.Os.replace_procs os (List.map build_proc snap.sn_procs);
+  Kernel.Machine.rebuild_shares (Kernel.Os.machine os);
   Kernel.Os.restore_libraries os snap.sn_libs;
   Kernel.Sched.restore (Kernel.Os.machine os)
     {
@@ -693,6 +703,7 @@ let proc_w b (p : proc_state) =
   opt int b p.pr_recovery;
   int_array b p.pr_trace;
   int b p.pr_trace_pos;
+  int b p.pr_insns;
   bool b p.pr_protected;
   int b p.pr_console_in;
   int b p.pr_console_out;
@@ -742,6 +753,7 @@ let proc_r r : proc_state =
   let pr_recovery = opt int r in
   let pr_trace = int_array r in
   let pr_trace_pos = int r in
+  let pr_insns = int r in
   let pr_protected = bool r in
   let pr_console_in = int r in
   let pr_console_out = int r in
@@ -806,6 +818,7 @@ let proc_r r : proc_state =
     pr_recovery;
     pr_trace;
     pr_trace_pos;
+    pr_insns;
     pr_protected;
     pr_console_in;
     pr_console_out;

@@ -587,3 +587,37 @@ let sparse ?(data_pages = 32) ?(touch_pages = 2) () =
       ]
       @ Guest.sys_exit 0)
     ~entry:"main" ()
+
+(* Scale-out unit process: a short compute loop walking a multi-page
+   read-only blob. Every image-backed byte it touches (code + rodata) is
+   read-only, so under loader COW ([share_images]) N identical instances
+   share all their image frames; per-instance private memory is just the
+   stack. Cheap enough that a 10k-process machine finishes in seconds. *)
+let scale_unit ?(ro_pages = 8) ?(rounds = 4) () =
+  Kernel.Image.build ~name:"scale-unit"
+    ~rodata:[ L "blob"; Space (ro_pages * 4096) ]
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (EBP, rounds));
+        L "round";
+        I (Cmp_ri (EBP, 0));
+        I (Jz (Lbl "done"));
+        I (Mov_ri (ECX, 0));
+        I (Mov_ri (EDX, 0));
+        L "walk";
+        I (Cmp_ri (ECX, ro_pages * 4096));
+        I (Jge (Lbl "walk_end"));
+        I (Mov_ri (EBX, lbl "blob"));
+        I (Add (EBX, ECX));
+        I (Load (EAX, EBX, 0));
+        I (Add (EDX, EAX));
+        I (Add_ri (ECX, 4096));
+        I (Jmp (Lbl "walk"));
+        L "walk_end";
+        I (Add_ri (EBP, -1));
+        I (Jmp (Lbl "round"));
+        L "done";
+      ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()

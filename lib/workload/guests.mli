@@ -62,3 +62,9 @@ val tlb_walker : ?pages:int -> rounds:int -> unit -> Kernel.Image.t
 val sparse : ?data_pages:int -> ?touch_pages:int -> unit -> Kernel.Image.t
 (** Large data segment, tiny touched prefix — separates eager page
     duplication from demand splitting in the memory-overhead ablation. *)
+
+val scale_unit : ?ro_pages:int -> ?rounds:int -> unit -> Kernel.Image.t
+(** Scale-out unit process: walk [ro_pages] read-only pages [rounds]
+    times, then exit. All image-backed memory is read-only, so under
+    loader COW ([share_images]) N identical instances share every image
+    frame — the sublinear-memory demonstrator for 10k-process machines. *)

@@ -63,6 +63,7 @@ type spec = {
   dtlb_capacity : int option;
   tlb_policy : Hw.Tlb.policy option;
   caches : bool;
+  share_images : bool;
   wiring : wiring;
   guests : guest list;
 }
@@ -71,7 +72,7 @@ let guest ?(eager = false) ?(protected = true) image = { image; eager; protected
 
 let spec ?label ?protection ?tlb_fill ?(frames = 16384) ?(fuel = 100_000_000)
     ?quantum ?seed ?itlb_capacity ?dtlb_capacity ?tlb_policy ?(caches = false)
-    ?(wiring = Isolated) ~defense guests =
+    ?(share_images = false) ?(wiring = Isolated) ~defense guests =
   let label =
     match (label, guests) with
     | Some l, _ -> l
@@ -91,6 +92,7 @@ let spec ?label ?protection ?tlb_fill ?(frames = 16384) ?(fuel = 100_000_000)
     dtlb_capacity;
     tlb_policy;
     caches;
+    share_images;
     wiring;
     guests;
   }
@@ -112,7 +114,8 @@ let build ?(obs = Obs.null) s =
   let k =
     Kernel.Os.create ~frames:s.frames ~tlb_fill ?quantum:s.quantum ?seed:s.seed
       ?itlb_capacity:s.itlb_capacity ?dtlb_capacity:s.dtlb_capacity
-      ?tlb_policy:s.tlb_policy ~caches:s.caches ~obs ~protection ()
+      ?tlb_policy:s.tlb_policy ~caches:s.caches ~share_images:s.share_images ~obs
+      ~protection ()
   in
   let procs =
     List.map

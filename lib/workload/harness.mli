@@ -53,6 +53,9 @@ type spec = {
   tlb_policy : Hw.Tlb.policy option;
       (** TLB replacement policy override (default hardware {!Hw.Tlb.Fifo}) *)
   caches : bool;
+  share_images : bool;
+      (** loader COW: share read-only image frames across identical spawns
+          (default [false]) *)
   wiring : wiring;
   guests : guest list;
 }
@@ -72,6 +75,7 @@ val spec :
   ?dtlb_capacity:int ->
   ?tlb_policy:Hw.Tlb.policy ->
   ?caches:bool ->
+  ?share_images:bool ->
   ?wiring:wiring ->
   defense:Defense.t ->
   guest list ->

@@ -17,6 +17,8 @@ let () =
       ("workload", Test_workload.suite);
       ("fleet", Test_fleet.suite);
       ("properties", Test_props.suite);
+      ("wake-equiv", Test_wake_equiv.suite);
+      ("scale", Test_scale.suite);
       ("cache", Test_cache.suite);
       ("stress", Test_stress.suite);
       ("edges", Test_edges.suite);

@@ -41,6 +41,7 @@ let heap_region : Kernel.Aspace.region =
     writable = true;
     execable = false;
     source = Kernel.Aspace.Zero;
+    share = None;
   }
 
 (* --- splitting mechanics -------------------------------------------------- *)
@@ -220,7 +221,7 @@ let test_forensics_payload_runs () =
 (* --- policies --------------------------------------------------------------- *)
 
 let region kind ~writable ~execable : Kernel.Aspace.region =
-  { lo = 0; hi = 1; kind; writable; execable; source = Kernel.Aspace.Zero }
+  { lo = 0; hi = 1; kind; writable; execable; source = Kernel.Aspace.Zero; share = None }
 
 let test_policy_mixed_only () =
   let p = Split_memory.Policy.Mixed_only in

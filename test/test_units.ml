@@ -74,6 +74,7 @@ let test_aspace_regions_and_content () =
       writable = true;
       execable = false;
       source = Kernel.Aspace.Image_bytes { base = (16 * 4096) + 10; bytes = "HELLO" };
+      share = None;
     }
   in
   Kernel.Aspace.add_region aspace region;

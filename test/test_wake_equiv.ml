@@ -1,0 +1,101 @@
+(* Equivalence harness for the indexed wake path (qcheck): for random
+   pipe/fork/wait workloads under five defenses, a machine scheduled with
+   the indexed [Sched.wake] and one scheduled with the seed's
+   scan-everything [Sched.wake_scan] must be observationally identical —
+   same stop reason, same cycle/trap/syscall counters, same event log,
+   byte for byte. The indexed path may only change *when* blocked
+   processes are rechecked, never what the recheck concludes. *)
+
+open QCheck
+module H = Workload.Harness
+module G = Workload.Guests
+
+let defenses =
+  [
+    Defense.unprotected;
+    Defense.nx;
+    Defense.split_standalone;
+    Defense.split_dual_cr3;
+    Defense.cfi;
+  ]
+
+(* Random workloads biased toward scheduler traffic: blocking pipe I/O in
+   both directions (ping/pong over bounded cross-wired consoles), fork +
+   waitpid chains (zombie-transition wakeups), and single-process pipe
+   churn. Quantum and stack-jitter seed vary too, so wake-ups land at
+   different scheduler boundaries across cases. *)
+type workload =
+  | Ctxsw of { iters : int; capacity : int; quantum : int; seed : int }
+  | Spawn of { iters : int; quantum : int; seed : int }
+  | Pipe_churn of { iters : int; quantum : int; seed : int }
+  | Fan of { pairs : int; iters : int; capacity : int; quantum : int; seed : int }
+
+let gen_workload : workload Gen.t =
+  let open Gen in
+  let quantum = int_range 16 200 in
+  let seed = int_range 0 1000 in
+  oneof
+    [
+      map4
+        (fun iters capacity quantum seed -> Ctxsw { iters; capacity; quantum; seed })
+        (int_range 1 10) (int_range 1 64) quantum seed;
+      map3 (fun iters quantum seed -> Spawn { iters; quantum; seed }) (int_range 1 6)
+        quantum seed;
+      map3
+        (fun iters quantum seed -> Pipe_churn { iters; quantum; seed })
+        (int_range 1 25) quantum seed;
+      (let* pairs = int_range 2 3 in
+       map4
+         (fun iters capacity quantum seed ->
+           Fan { pairs; iters; capacity; quantum; seed })
+         (int_range 1 6) (int_range 1 16) quantum seed);
+    ]
+
+let print_workload = function
+  | Ctxsw { iters; capacity; quantum; seed } ->
+    Fmt.str "ctxsw iters=%d cap=%d q=%d seed=%d" iters capacity quantum seed
+  | Spawn { iters; quantum; seed } -> Fmt.str "spawn iters=%d q=%d seed=%d" iters quantum seed
+  | Pipe_churn { iters; quantum; seed } ->
+    Fmt.str "pipe iters=%d q=%d seed=%d" iters quantum seed
+  | Fan { pairs; iters; capacity; quantum; seed } ->
+    Fmt.str "fan pairs=%d iters=%d cap=%d q=%d seed=%d" pairs iters capacity quantum seed
+
+let spec_of ~defense = function
+  | Ctxsw { iters; capacity; quantum; seed } ->
+    H.spec ~quantum ~seed ~wiring:(H.Pipeline { capacity = Some capacity }) ~defense
+      [ H.guest (G.ctxsw_ping ~iters ()); H.guest (G.ctxsw_pong ()) ]
+  | Spawn { iters; quantum; seed } ->
+    H.spec ~quantum ~seed ~defense [ H.guest (G.spawn_bench ~iters ()) ]
+  | Pipe_churn { iters; quantum; seed } ->
+    H.spec ~quantum ~seed ~defense [ H.guest (G.pipe_throughput ~iters ()) ]
+  | Fan { pairs; iters; capacity; quantum; seed } ->
+    H.spec ~quantum ~seed ~wiring:(H.Pipeline { capacity = Some capacity }) ~defense
+      (List.concat_map
+         (fun _ -> [ H.guest (G.ctxsw_ping ~iters ()); H.guest (G.ctxsw_pong ()) ])
+         (List.init pairs Fun.id))
+
+(* One run rendered to a single comparable string: stop reason, the full
+   cost-counter line (cycles, insns, traps, split faults, single steps,
+   syscalls, context switches) and the whole event log. *)
+let observe ~wake_scan spec =
+  let k = H.build spec in
+  let stop = Kernel.Sched.run ~wake_scan (Kernel.Os.machine k) in
+  Fmt.str "%s@.%a@.%a"
+    (match stop with
+    | Kernel.Sched.All_exited -> "all-exited"
+    | Kernel.Sched.All_blocked -> "all-blocked"
+    | Kernel.Sched.Fuel_exhausted -> "fuel-exhausted")
+    Hw.Cost.pp (Kernel.Os.cost k) Kernel.Event_log.pp (Kernel.Os.log k)
+
+let prop_wake_equivalent =
+  Test.make ~name:"indexed wake == scan wake (events, counters, verdicts)"
+    ~count:25
+    (make ~print:print_workload gen_workload)
+    (fun wl ->
+      List.for_all
+        (fun defense ->
+          let spec = spec_of ~defense wl in
+          String.equal (observe ~wake_scan:false spec) (observe ~wake_scan:true spec))
+        defenses)
+
+let suite = List.map QCheck_alcotest.to_alcotest [ prop_wake_equivalent ]
