@@ -704,6 +704,80 @@ let scale_gate max_ratio =
     exit 1
   end
 
+(* --- traffic-at-scale serving benchmark (lib/serve) ---------------------- *)
+
+(* The headline "requests/sec vs. defense" sweep: concurrency up to 32
+   closed-loop Apache-shaped pairs per machine, knee = lowest concurrency
+   within 97% of each defense's peak. Deterministic counters only, so the
+   output is byte-identical for every -j. *)
+let serve_exp () =
+  out "Serving under load: knee analysis per protection mode";
+  out "  (simulated throughput, deterministic — byte-identical for every -j)";
+  let t = Serve.Sweep.run ~jobs:!jobs ~concurrencies:[ 1; 2; 4; 8; 16; 32 ] ~reps:3
+      ~requests:16 ()
+  in
+  out "%s" (Serve.Sweep.render t)
+
+(* The gate's fixed sweep: split memory alone, small but past its knee. *)
+let serve_gate_sweep () =
+  Serve.Sweep.run ~jobs:!jobs
+    ~defenses:[ Defense.split_standalone ]
+    ~concurrencies:[ 1; 2; 4; 8; 16 ] ~reps:2 ~requests:12 ()
+
+(* Gate against a committed baseline ("<name> <value>" lines): the knee
+   concurrency must match exactly and knee throughput must stay within
+   [ratio] of the baseline, both ways — simulated req/Mcyc is
+   deterministic, so drift in either direction means the cost model or
+   the scheduler changed and the baseline must be re-examined. *)
+let serve_gate baseline_file =
+  let baseline =
+    let ic = open_in baseline_file in
+    let rec go acc =
+      match input_line ic with
+      | line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ name; v ] -> go ((name, float_of_string v) :: acc)
+        | _ -> go acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let t = serve_gate_sweep () in
+  match t.Serve.Sweep.curves with
+  | [ cv ] ->
+    let failures = ref 0 in
+    (match List.assoc_opt "split_knee_concurrency" baseline with
+    | Some base when int_of_float base <> cv.Serve.Sweep.knee_concurrency ->
+      out "serve-gate: knee concurrency MOVED: %d vs baseline %d"
+        cv.Serve.Sweep.knee_concurrency (int_of_float base);
+      incr failures
+    | Some base ->
+      out "serve-gate: knee concurrency ok: %d (baseline %d)"
+        cv.Serve.Sweep.knee_concurrency (int_of_float base)
+    | None ->
+      out "serve-gate: no split_knee_concurrency baseline; add it";
+      incr failures);
+    (match List.assoc_opt "split_knee_tput" baseline with
+    | Some base ->
+      let got = cv.Serve.Sweep.knee_throughput in
+      let ratio = 0.10 in
+      if got < base *. (1. -. ratio) || got > base *. (1. +. ratio) then begin
+        out "serve-gate: knee throughput DRIFTED: %.2f req/Mcyc vs baseline %.2f (band ±%.0f%%)"
+          got base (ratio *. 100.);
+        incr failures
+      end
+      else
+        out "serve-gate: knee throughput ok: %.2f req/Mcyc vs baseline %.2f" got base
+    | None ->
+      out "serve-gate: no split_knee_tput baseline; add it";
+      incr failures);
+    if !failures > 0 then exit 1
+  | _ ->
+    out "serve-gate: sweep produced no split-memory curve";
+    exit 1
+
 (* --- profiler experiments (lib/prof) ------------------------------------- *)
 
 (* Profile-driven policy tables: the TLB capacity x eviction sweep and the
@@ -721,11 +795,15 @@ let profile_exp () =
    per-run counters (with per-job wall-clock), the fleet's own stats and
    the merged metrics registry as one JSON document.
 
-   Schema split-memory-bench/7: everything /6 had, plus the "scale"
-   object — the scale-out grid (N COW-shared guests: deterministic
-   counters, peak frames shared vs unshared) and the per-process
-   wall-clock ratio of a 10k-process machine against the 100-process
-   baseline.
+   Schema split-memory-bench/8: everything /7 had, plus the "serve"
+   object — the traffic-at-scale sweep's per-defense throughput curves,
+   knee concurrency/throughput and pooled latency percentiles at the
+   knee.
+
+   /7 added to /6 the "scale" object — the scale-out grid (N COW-shared
+   guests: deterministic counters, peak frames shared vs unshared) and
+   the per-process wall-clock ratio of a 10k-process machine against the
+   100-process baseline.
 
    /6 added to /5 the "bbcache" object — per-workload wall-clock with the
    decoded-block cache on vs off, the speedup, and the cache's own
@@ -781,7 +859,7 @@ let git_rev () =
    repo's history accumulates as JSON-lines without any tooling. *)
 let trajectory_file = "BENCH_split-memory-bench.json"
 
-let append_trajectory ~bb_speedups ~scale_ratio results (stats : Fleet.stats) =
+let append_trajectory ~bb_speedups ~scale_ratio ~serve_knees results (stats : Fleet.stats) =
   let module J = Obs.Json in
   let module H = Workload.Harness in
   let benchmarks =
@@ -813,6 +891,14 @@ let append_trajectory ~bb_speedups ~scale_ratio results (stats : Fleet.stats) =
         (* 10k-vs-100 per-process wall ratio, so scheduler/loader scaling
            is tracked across revisions alongside the raw numbers *)
         ("scale_per_proc_ratio", J.Float scale_ratio);
+        (* per-defense serving knee (concurrency, req/Mcyc), so the
+           throughput-under-load curve is tracked across revisions *)
+        ( "serve_knees",
+          J.Obj
+            (List.map
+               (fun (name, (knee, tput)) ->
+                 (name, J.Obj [ ("knee", J.Int knee); ("tput", J.Float tput) ]))
+               serve_knees) );
         ("fleet_wall_us", J.Int stats.wall_us);
         ("benchmarks", J.List benchmarks);
       ]
@@ -986,10 +1072,46 @@ let json_bench file =
                  ] ))
            bb_measures)
   in
+  let serve_sweep =
+    Serve.Sweep.run ~jobs:!jobs ~concurrencies:[ 1; 2; 4; 8; 16 ] ~reps:2 ~requests:12 ()
+  in
+  let int_opt = function Some v -> J.Int v | None -> J.Null in
+  let serve_json =
+    J.Obj
+      [
+        ("model", J.Str (Serve.Loadgen.model_name serve_sweep.Serve.Sweep.model));
+        ("requests_per_client", J.Int serve_sweep.Serve.Sweep.requests);
+        ( "concurrencies",
+          J.List (List.map (fun c -> J.Int c) serve_sweep.Serve.Sweep.concurrencies) );
+        ( "curves",
+          J.List
+            (List.map
+               (fun (cv : Serve.Sweep.curve) ->
+                 J.Obj
+                   [
+                     ("defense", J.Str cv.name);
+                     ("knee_concurrency", J.Int cv.knee_concurrency);
+                     ("peak_tput", J.Float cv.peak);
+                     ("knee_tput", J.Float cv.knee_throughput);
+                     ("p50", int_opt cv.knee_lat.Serve.Latency.p50);
+                     ("p95", int_opt cv.knee_lat.Serve.Latency.p95);
+                     ("p99", int_opt cv.knee_lat.Serve.Latency.p99);
+                     ("p999", int_opt cv.knee_lat.Serve.Latency.p999);
+                     ( "points",
+                       J.List
+                         (List.map
+                            (fun (c, (o : Serve.outcome)) ->
+                              J.Obj
+                                [ ("c", J.Int c); ("tput", J.Float o.Serve.throughput) ])
+                            cv.points) );
+                   ])
+               serve_sweep.Serve.Sweep.curves) );
+      ]
+  in
   let doc =
     J.Obj
       [
-        ("schema", J.Str "split-memory-bench/7");
+        ("schema", J.Str "split-memory-bench/8");
         ("jobs", J.Int !jobs);
         ("benchmarks", J.List runs);
         ("fleet", fleet_json);
@@ -998,6 +1120,7 @@ let json_bench file =
         ("matrix", matrix_json);
         ("bbcache", bbcache_json);
         ("scale", scale_json);
+        ("serve", serve_json);
         ("metrics", Obs.Metrics.to_json (Obs.snapshot obs));
       ]
   in
@@ -1011,7 +1134,13 @@ let json_bench file =
       (List.map
          (fun (n, (us_on, us_off, _, _)) -> (n, float_of_int us_off /. float_of_int us_on))
          bb_measures)
-    ~scale_ratio results stats
+    ~scale_ratio
+    ~serve_knees:
+      (List.map
+         (fun (cv : Serve.Sweep.curve) ->
+           (cv.name, (cv.knee_concurrency, cv.knee_throughput)))
+         serve_sweep.Serve.Sweep.curves)
+    results stats
 
 (* --- driver -------------------------------------------------------------- *)
 
@@ -1065,6 +1194,7 @@ let () =
     | "micro" -> micro ()
     | "bbcache" -> bbcache_exp ()
     | "scale" -> scale_exp ()
+    | "serve" -> serve_exp ()
     | "profile" -> profile_exp ()
     | "snap" -> snap_exp ()
     | "alloc" -> alloc ()
@@ -1091,6 +1221,12 @@ let () =
       run rest
     | [ "--throughput-gate" ] ->
       Fmt.epr "--throughput-gate needs a BASELINE argument@.";
+      exit 1
+    | "--serve-gate" :: file :: rest ->
+      serve_gate file;
+      run rest
+    | [ "--serve-gate" ] ->
+      Fmt.epr "--serve-gate needs a BASELINE argument@.";
       exit 1
     | "--scale-gate" :: r :: rest -> (
       match float_of_string_opt r with

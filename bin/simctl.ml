@@ -916,6 +916,51 @@ let profile_cmd =
           ~doc:"Instructions before the --replay-check checkpoint is taken."
       $ profile_workload_arg)
 
+(* serve command (lib/serve): traffic-at-scale knee analysis *)
+
+let serve_cmd =
+  let sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run the full sweep: all five protection modes, concurrency 1..32, \
+             16 requests per client, 3 knee repetitions. Default is a quick \
+             two-defense sweep up to concurrency 8.")
+  in
+  let knee_flag =
+    Arg.(
+      value & flag
+      & info [ "knee" ]
+          ~doc:"Print only the knee table (skip the throughput-vs-concurrency curves).")
+  in
+  let run metrics trace chrome jobs sweep knee =
+    let obs = make_obs ~metrics ~trace ~chrome in
+    let t =
+      if sweep then
+        Serve.Sweep.run ~obs ?jobs ~concurrencies:[ 1; 2; 4; 8; 16; 32 ] ~reps:3
+          ~requests:16 ()
+      else
+        Serve.Sweep.run ~obs ?jobs
+          ~defenses:[ Defense.unprotected; Defense.split_standalone ]
+          ~concurrencies:[ 1; 2; 4; 8 ] ~reps:2 ~requests:8 ()
+    in
+    print_string (Serve.Sweep.render ~knee_only:knee t);
+    finish_obs obs ~metrics ~trace ~chrome;
+    if t.Serve.Sweep.failures <> [] then die "serving sweep had failed machines"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Traffic at scale: closed-loop client/server pairs over Zipf-popular \
+          pages, swept across concurrency per protection mode. Reports each \
+          defense's throughput knee (lowest concurrency within 97% of its \
+          peak) with latency percentiles; the tables are byte-identical for \
+          any $(b,-j).")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ chrome_arg $ jobs_arg $ sweep_flag
+      $ knee_flag)
+
 (* spawn / ps commands: the scale-out path (loader COW, indexed wakeups)
    driven interactively *)
 
@@ -1052,6 +1097,7 @@ let main =
       inject_cmd;
       reuse_cmd;
       profile_cmd;
+      serve_cmd;
       spawn_cmd;
       ps_cmd;
     ]

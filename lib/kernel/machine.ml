@@ -62,6 +62,13 @@ type t = {
      so a spurious entry is harmless. *)
   mutable pending_wakeups : int list;
   mutable wakeup_sink : int -> unit;
+  (* Processes blocked on [Proc.Sleep], as (wake_cycle, pid) sorted
+     ascending — the earliest deadline is the head. The scheduler pops
+     expired entries onto [pending_wakeups] at every boundary and, when
+     nothing is runnable, jumps the clock to the head's deadline
+     (tickless idle). Entries can go stale (snapshot restore rebuilds the
+     list; a recheck may re-insert); stale heads are dropped lazily. *)
+  mutable sleepers : (int * int) list;
   (* Loader COW: share read-only image-backed frames across spawns of
      identical guests, keyed by content digest. Off by default so existing
      scenarios keep their exact frame trajectories; the 10k-process scale
@@ -203,6 +210,7 @@ let create ?(frames = 8192) ?(page_size = 4096) ?(quantum = 200) ?cost_params
       children_index = Hashtbl.create 8;
       pending_wakeups = [];
       wakeup_sink = ignore;
+      sleepers = [];
       share_images;
       image_memo = [];
       libraries = Hashtbl.create 4;
@@ -322,6 +330,44 @@ let register_wait t (p : Proc.t) = function
     | Some (Write_end pipe) -> Pipe.add_write_waiter pipe p.pid
     | Some (Read_end _) | None -> t.wakeup_sink p.pid)
   | Proc.Child _ -> ()
+  | Proc.Sleep until_ ->
+    (* sorted (deadline, pid) insert keeps the earliest wake-up at the
+       head; O(sleepers) per insert is fine at serving-benchmark
+       concurrency, and the canonical order makes restore-time
+       re-registration bit-identical to the live run *)
+    let rec ins = function
+      | [] -> [ (until_, p.pid) ]
+      | ((u, q) as hd) :: tl ->
+        if (u, q) <= (until_, p.pid) then hd :: ins tl
+        else (until_, p.pid) :: hd :: tl
+    in
+    t.sleepers <- ins t.sleepers
+
+(* Pop every sleeper whose deadline has passed onto the pending-wakeup
+   list; the next boundary recheck makes them runnable (a [Proc.Sleep]
+   condition is ready once the clock reaches its deadline). *)
+let expire_sleepers t =
+  let now = t.cost.Hw.Cost.cycles in
+  let rec pop = function
+    | (until_, pid) :: rest when until_ <= now ->
+      t.wakeup_sink pid;
+      pop rest
+    | rest -> t.sleepers <- rest
+  in
+  pop t.sleepers
+
+(* Earliest genuine sleeper deadline, dropping stale head entries (a pid
+   that was restored, re-slept or already woke through another path) as a
+   side effect. [None] means nobody is sleeping. *)
+let rec earliest_sleeper t =
+  match t.sleepers with
+  | [] -> None
+  | (until_, pid) :: rest -> (
+    match proc t pid with
+    | Some p when p.state = Proc.Blocked (Proc.Sleep until_) -> Some until_
+    | _ ->
+      t.sleepers <- rest;
+      earliest_sleeper t)
 
 (* ------------------------------------------------------------------ *)
 (* Demand paging                                                       *)
@@ -757,6 +803,10 @@ let replace_procs t ps =
      with every blocked pid: the first wake rechecks them all (exactly the
      seed's scan) and re-registers the still-blocked ones on their pipes. *)
   List.iter (fun (p : Proc.t) -> attach_proc_pipes t p) ps;
+  (* The sleeper queue is re-derived the same way: the recheck of a pid
+     still blocked on [Sleep] re-inserts it (register_wait), and the
+     sorted insert reproduces the canonical order. *)
+  t.sleepers <- [];
   t.pending_wakeups <- [];
   List.iter
     (fun (p : Proc.t) ->

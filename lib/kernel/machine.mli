@@ -70,6 +70,11 @@ type t = {
   mutable wakeup_sink : int -> unit;
       (** the one shared closure pushing onto [pending_wakeups]; attached
           to every pipe the machine owns via {!attach_pipe} *)
+  mutable sleepers : (int * int) list;
+      (** processes blocked on [Proc.Sleep], as (wake_cycle, pid) sorted
+          ascending; see {!expire_sleepers} and {!earliest_sleeper}.
+          Stale entries are dropped lazily; not serialized — restore
+          re-derives it through the {!replace_procs} wake seeding *)
   share_images : bool;
       (** loader COW: share read-only image-backed frames across spawns of
           identical guests (default off — opt-in for scale runs, so
@@ -166,8 +171,18 @@ val attach_proc_pipes : t -> Proc.t -> unit
 val register_wait : t -> Proc.t -> Proc.wait_cond -> unit
 (** Register a blocked process where its condition can flip: the pipe
     behind the fd for I/O waits (missing/mismatched fds go straight to the
-    pending list — they are ready by definition); nothing for child waits,
-    which {!terminate}'s zombie transition notifies directly. *)
+    pending list — they are ready by definition); the sleeper queue for
+    [Sleep] waits; nothing for child waits, which {!terminate}'s zombie
+    transition notifies directly. *)
+
+val expire_sleepers : t -> unit
+(** Pop every sleeper whose deadline has passed onto the pending-wakeup
+    list; called at each scheduler boundary. *)
+
+val earliest_sleeper : t -> int option
+(** Earliest genuine sleeper deadline (dropping stale head entries);
+    [None] when nobody is sleeping. Drives the scheduler's tickless idle
+    jump when the run queue is empty. *)
 
 val map_demand_page : t -> Proc.t -> Aspace.region -> int -> Pte.t
 val cow_service : t -> Pte.t -> unit

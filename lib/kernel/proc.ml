@@ -20,7 +20,11 @@ let status_string = function
   | Exited n -> Fmt.str "exit(%d)" n
   | Killed s -> Fmt.str "killed by %s" (signal_name s)
 
-type wait_cond = Read_fd of int | Write_fd of int | Child of int
+type wait_cond =
+  | Read_fd of int
+  | Write_fd of int
+  | Child of int
+  | Sleep of int  (* absolute wake-up deadline on the cycle counter *)
 
 type state = Runnable | Blocked of wait_cond | Zombie of exit_status
 
@@ -123,6 +127,7 @@ let pp_state ppf = function
   | Blocked (Read_fd n) -> Fmt.pf ppf "blocked(read fd %d)" n
   | Blocked (Write_fd n) -> Fmt.pf ppf "blocked(write fd %d)" n
   | Blocked (Child pid) -> Fmt.pf ppf "blocked(wait pid %d)" pid
+  | Blocked (Sleep until_) -> Fmt.pf ppf "blocked(sleep until %d)" until_
   | Zombie s -> Fmt.pf ppf "zombie(%s)" (status_string s)
 
 (* Oldest-first list of the last executed instruction addresses. *)

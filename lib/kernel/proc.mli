@@ -12,7 +12,12 @@ type exit_status = Exited of int | Killed of signal
 
 val status_string : exit_status -> string
 
-type wait_cond = Read_fd of int | Write_fd of int | Child of int
+type wait_cond =
+  | Read_fd of int
+  | Write_fd of int
+  | Child of int
+  | Sleep of int
+      (** absolute wake-up deadline on the machine's cycle counter *)
 type state = Runnable | Blocked of wait_cond | Zombie of exit_status
 type fd_obj = Read_end of Pipe.t | Write_end of Pipe.t
 

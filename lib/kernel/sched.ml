@@ -25,6 +25,7 @@ let ready (m : M.t) (p : Proc.t) cond =
       List.filter (fun (c : Proc.t) -> target = 0 || c.pid = target) (M.children_of m p)
     in
     children = [] || List.exists Proc.is_zombie children
+  | Proc.Sleep until_ -> m.cost.cycles >= until_
 
 (* Event-driven wake: drain the pending-wakeup list the pipes and the
    zombie transition fed since the last boundary, recheck each candidate
@@ -169,6 +170,7 @@ let run ?(fuel = 50_000_000) ?(wake_scan = false) ?table (m : M.t) =
   let fuel = ref fuel in
   let do_wake = wake_for wake_scan in
   let rec loop () =
+    M.expire_sleepers m;
     do_wake m;
     (* quantum-boundary hook: the machine is in a consistent, resumable
        state here (no quantum in flight), which is exactly where periodic
@@ -180,7 +182,20 @@ let run ?(fuel = 50_000_000) ?(wake_scan = false) ?table (m : M.t) =
     if !fuel <= 0 then Fuel_exhausted
     else
       match dequeue_runnable m with
-      | None -> if all_zombie m then All_exited else All_blocked
+      | None ->
+        if all_zombie m then All_exited
+        else (
+          (* Tickless idle: nothing is runnable but a deadline is
+             pending, so jump the clock straight to the earliest wake-up
+             instead of spinning — this is what lets closed-loop serving
+             clients "think" without burning simulated CPU. The next
+             iteration expires the sleeper and runs it. *)
+          match M.earliest_sleeper m with
+          | Some until_ ->
+            if until_ > m.cost.cycles then
+              Hw.Cost.charge m.cost (until_ - m.cost.cycles);
+            loop ()
+          | None -> All_blocked)
       | Some p ->
         switch_to m p;
         run_quantum ?table m p fuel;

@@ -223,6 +223,21 @@ let sys_uselib (m : M.t) (p : Proc.t) =
 (* sched_yield() *)
 let sys_sched_yield (_m : M.t) p = ret p 0
 
+(* nanosleep(cycles) — block until the cycle counter reaches now + EBX.
+   Unlike the I/O waits this must not go through [M.block]: a restarted
+   sleep would recompute its deadline from the later clock and never
+   expire. The return value is staged up front and the process resumes
+   *after* the [int 0x80] when the deadline passes. *)
+let sys_nanosleep (m : M.t) (p : Proc.t) =
+  let d = arg p Isa.Reg.EBX in
+  M.sebek_trace m p "nanosleep" (Fmt.str "%d cycles" d);
+  ret p 0;
+  if d > 0 then begin
+    let until_ = m.cost.cycles + d in
+    p.state <- Proc.Blocked (Proc.Sleep until_);
+    M.register_wait m p (Proc.Sleep until_)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* The default (Linux-numbered) table                                  *)
 (* ------------------------------------------------------------------ *)
@@ -245,6 +260,7 @@ let default_entries : (int * string * handler) list =
     (125, "mprotect", sys_mprotect);
     (137, "uselib", sys_uselib);
     (158, "sched_yield", sys_sched_yield);
+    (162, "nanosleep", sys_nanosleep);
   ]
 
 let default_table =

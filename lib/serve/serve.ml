@@ -1,0 +1,11 @@
+(* Library interface: deterministic traffic generation (Loadgen), latency
+   accounting (Latency), the single-machine serving scenario (Scenario,
+   re-exported at the top level) and the concurrency sweep with knee
+   analysis (Sweep). *)
+
+module Loadgen = Loadgen
+module Latency = Latency
+module Scenario = Scenario
+module Sweep = Sweep
+
+include Scenario

@@ -1,0 +1,207 @@
+(* The concurrency sweep: fan (defense x concurrency) serving machines
+   over Fleet, locate each defense's throughput knee — the lowest
+   concurrency achieving >= 97% of that defense's peak — then re-run K
+   repetitions at the knee under fresh seeds and report knee throughput
+   plus latency percentiles. Results come back in submission order, so
+   the rendered table is bit-identical for every [jobs] value. *)
+
+let knee_threshold = 0.97
+
+(* Lowest-concurrency point within [threshold] of the curve's peak.
+   Pure, for the synthetic-curve unit tests: [points] are
+   (concurrency, throughput) in ascending concurrency order. *)
+let knee ?(threshold = knee_threshold) points =
+  match points with
+  | [] -> invalid_arg "Sweep.knee: empty curve"
+  | _ ->
+    let peak = List.fold_left (fun acc (_, v) -> max acc v) neg_infinity points in
+    fst (List.find (fun (_, v) -> v >= threshold *. peak) points)
+
+type curve = {
+  defense : Defense.t;
+  name : string;
+  points : (int * Scenario.outcome) list;  (* ascending concurrency *)
+  peak : float;
+  knee_concurrency : int;
+  reps : Scenario.outcome list;  (* repetitions at the knee, fresh seeds *)
+  knee_throughput : float;  (* median of the repetitions *)
+  knee_lat : Latency.summary;  (* pooled over the repetitions' samples *)
+}
+
+type t = {
+  curves : curve list;
+  concurrencies : int list;
+  requests : int;
+  reps_n : int;
+  model : Loadgen.model;
+  failures : string list;
+}
+
+let default_defenses () =
+  [
+    Defense.unprotected;
+    Defense.nx;
+    Defense.split_standalone;
+    Defense.cfi;
+    Defense.split_plus_cfi;
+  ]
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | s ->
+    let n = List.length s in
+    let a = Array.of_list s in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let pool_latency outcomes =
+  let lat = Latency.create () in
+  List.iter
+    (fun (o : Scenario.outcome) -> Array.iter (Latency.record lat) o.Scenario.samples)
+    outcomes;
+  Latency.summary lat
+
+let run ?obs ?jobs ?(defenses = default_defenses ()) ?(concurrencies = [ 1; 2; 4; 8 ])
+    ?(reps = 3) ?(requests = 24) ?(model = Loadgen.Closed { think = 60_000 })
+    ?(resp_size = 2048) ?(ws_pages = 8) ?(theta = 1.0) ?(seed = 1) () =
+  if concurrencies = [] then invalid_arg "Sweep.run: no concurrencies";
+  let mk defense concurrency seed =
+    Scenario.config ~defense ~concurrency ~requests ~model ~resp_size ~ws_pages ~theta
+      ~seed ()
+  in
+  (* phase 1: the full (defense x concurrency) grid *)
+  let grid =
+    List.concat_map (fun d -> List.map (fun c -> mk d c seed) concurrencies) defenses
+  in
+  let label (c : Scenario.config) = Fmt.str "%s/c%d" (Defense.name c.defense) c.concurrency in
+  let sweep_results, sweep_stats =
+    Fleet.map_stats ?obs ?jobs ~label Scenario.run grid
+  in
+  ignore (sweep_stats : Fleet.stats);
+  let failures = ref [] in
+  let cell = function
+    | Ok o -> Some o
+    | Error (e : Fleet.error) ->
+      failures := Fmt.str "%s: %s" e.label e.reason :: !failures;
+      None
+  in
+  let cells = List.map cell sweep_results in
+  let ncs = List.length concurrencies in
+  let curve_points d_idx =
+    List.filteri (fun i _ -> i / ncs = d_idx) cells
+    |> List.map2 (fun c o -> Option.map (fun o -> (c, o)) o) concurrencies
+    |> List.filter_map Fun.id
+  in
+  (* phase 2: knee repetitions, all defenses fanned in one fleet *)
+  let knees =
+    List.mapi
+      (fun i d ->
+        match curve_points i with
+        | [] -> (d, None)
+        | pts ->
+          let k =
+            knee (List.map (fun (c, (o : Scenario.outcome)) -> (c, o.throughput)) pts)
+          in
+          (d, Some (k, pts)))
+      defenses
+  in
+  let rep_jobs =
+    List.concat_map
+      (fun (d, k) ->
+        match k with
+        | None -> []
+        | Some (kc, _) -> List.init reps (fun r -> mk d kc (seed + 1 + r)))
+      knees
+  in
+  let rep_results, _ = Fleet.map_stats ?obs ?jobs ~label Scenario.run rep_jobs in
+  let rep_cells = List.map cell rep_results in
+  let curves =
+    let rest = ref rep_cells in
+    List.filter_map
+      (fun (d, k) ->
+        match k with
+        | None -> None
+        | Some (kc, pts) ->
+          let mine = List.filteri (fun i _ -> i < reps) !rest in
+          rest := List.filteri (fun i _ -> i >= reps) !rest;
+          let reps_ok = List.filter_map Fun.id mine in
+          let peak =
+            List.fold_left
+              (fun acc (_, (o : Scenario.outcome)) -> max acc o.throughput)
+              0.0 pts
+          in
+          Some
+            {
+              defense = d;
+              name = Defense.name d;
+              points = pts;
+              peak;
+              knee_concurrency = kc;
+              reps = reps_ok;
+              knee_throughput =
+                median (List.map (fun (o : Scenario.outcome) -> o.throughput) reps_ok);
+              knee_lat = pool_latency reps_ok;
+            })
+      knees
+  in
+  {
+    curves;
+    concurrencies;
+    requests;
+    reps_n = reps;
+    model;
+    failures = List.rev !failures;
+  }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let cycles_opt = function None -> "-" | Some v -> string_of_int v
+
+let render ?(knee_only = false) t =
+  let b = Buffer.create 1024 in
+  if not knee_only then begin
+    let curve_rows =
+      List.map
+        (fun cv ->
+          cv.name
+          :: List.map
+               (fun c ->
+                 match List.assoc_opt c cv.points with
+                 | Some (o : Scenario.outcome) -> Fmt.str "%.2f" o.throughput
+                 | None -> "-")
+               t.concurrencies)
+        t.curves
+    in
+    Buffer.add_string b
+      (Report.table
+         ~title:
+           (Fmt.str "serving throughput vs concurrency (req/Mcyc, %s, %d req/client)"
+              (Loadgen.model_name t.model) t.requests)
+         ~header:("defense" :: List.map (fun c -> Fmt.str "c=%d" c) t.concurrencies)
+         curve_rows);
+    Buffer.add_char b '\n'
+  end;
+  let knee_rows =
+    List.map
+      (fun cv ->
+        [
+          cv.name;
+          string_of_int cv.knee_concurrency;
+          Fmt.str "%.2f" cv.knee_throughput;
+          cycles_opt cv.knee_lat.Latency.p50;
+          cycles_opt cv.knee_lat.Latency.p95;
+          cycles_opt cv.knee_lat.Latency.p99;
+          cycles_opt cv.knee_lat.Latency.p999;
+        ])
+      t.curves
+  in
+  Buffer.add_string b
+    (Report.table
+       ~title:
+         (Fmt.str "fig: serving knee per defense (>=%d%% of peak, %d reps)"
+            (int_of_float (knee_threshold *. 100.0))
+            t.reps_n)
+       ~header:[ "defense"; "knee"; "req/Mcyc"; "p50"; "p95"; "p99"; "p999" ]
+       knee_rows);
+  List.iter (fun f -> Buffer.add_string b (Fmt.str "FAILED %s\n" f)) t.failures;
+  Buffer.contents b

@@ -153,6 +153,7 @@ let proc_state_fields (st : Kernel.Proc.state) =
   | Blocked (Read_fd fd) -> (1, Some (0, fd), None)
   | Blocked (Write_fd fd) -> (1, Some (1, fd), None)
   | Blocked (Child pid) -> (1, Some (2, pid), None)
+  | Blocked (Sleep until_) -> (1, Some (3, until_), None)
   | Zombie (Exited n) -> (2, None, Some (0, n))
   | Zombie (Killed s) -> (2, None, Some (1, signal_to_int s))
 
@@ -162,6 +163,7 @@ let proc_state_of_fields tag wait exit : Kernel.Proc.state =
   | 1, Some (0, fd), _ -> Blocked (Read_fd fd)
   | 1, Some (1, fd), _ -> Blocked (Write_fd fd)
   | 1, Some (2, pid), _ -> Blocked (Child pid)
+  | 1, Some (3, until_), _ -> Blocked (Sleep until_)
   | 2, _, Some (0, n) -> Zombie (Exited n)
   | 2, _, Some (1, s) -> Zombie (Killed (signal_of_int s))
   | _ -> raise (Codec.Corrupt "bad process state")

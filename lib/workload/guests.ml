@@ -621,3 +621,133 @@ let scale_unit ?(ro_pages = 8) ?(rounds = 4) () =
       ]
       @ Guest.sys_exit 0)
     ~entry:"main" ()
+
+(* --- serving benchmark: table-driven Apache pair (lib/serve) ------------ *)
+
+(* The serving-benchmark server. Same shape as [apache_server] — read a
+   request, walk state, build a body, stream it out — but the request
+   carries a byte offset into a popularity-addressed working set (the
+   load generator's Zipf pick over the "page cache"), so the memory the
+   request handler touches follows the offered traffic. *)
+let serve_server ?(ws_pages = 8) ~size () =
+  let body_pages = (size + 4095) / 4096 * 4096 in
+  let bss_size = body_pages + (ws_pages * 4096) + 4096 in
+  Kernel.Image.build ~name:"serve-server" ~bss_size
+    ~data:(fun ~lbl:_ -> [ L "req"; Space 64 ])
+    ~code:(fun ~lbl ->
+      [ L "main"; L "serve" ]
+      @ Guest.sys_read_imm ~buf:(lbl "req") ~len:64
+      @ [
+          I (Cmp_ri (EAX, 1));
+          I (Jl (Lbl "shutdown"));
+          (* first request word = byte offset of the popular page *)
+          I (Mov_ri (ESI, lbl "req"));
+          I (Load (ECX, ESI, 0));
+          I (Mov_ri (EDI, lbl "bss" + body_pages));
+          I (Add (EDI, ECX));
+          I (Storeb (EDI, 0, ECX));
+          I (Load (EAX, EDI, 4));
+          (* build the response body: touch a byte in each cache line *)
+          I (Mov_ri (ESI, lbl "bss"));
+          I (Mov_ri (ECX, 0));
+          L "prep";
+          I (Cmp_ri (ECX, size));
+          I (Jge (Lbl "prep_end"));
+          I (Mov_rr (EDI, ESI));
+          I (Add (EDI, ECX));
+          I (Storeb (EDI, 0, ECX));
+          I (Add_ri (ECX, 64));
+          I (Jmp (Lbl "prep"));
+          L "prep_end";
+          (* stream the body out, handling partial writes *)
+          I (Mov_ri (ESI, lbl "bss"));
+          I (Mov_ri (EDI, size));
+          L "wr";
+          I (Mov_ri (EAX, 4));
+          I (Mov_ri (EBX, 1));
+          I (Mov_rr (ECX, ESI));
+          I (Mov_rr (EDX, EDI));
+          I (Int 0x80);
+          I (Cmp_ri (EAX, 0));
+          I (Jl (Lbl "shutdown"));
+          I (Add (ESI, EAX));
+          I (Sub (EDI, EAX));
+          I (Cmp_ri (EDI, 0));
+          I (Jnz (Lbl "wr"));
+          I (Jmp (Lbl "serve"));
+          L "shutdown";
+        ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()
+
+(* The serving-benchmark client: replays a precomputed request schedule.
+   [schedule] is one (page_byte_offset, pace) pair per request, baked
+   into rodata. Closed-loop pace = think cycles slept *after* the
+   response is drained; open-loop pace = the absolute arrival cycle the
+   request is released at (paced via time() + nanosleep, so arrivals
+   stay on schedule below saturation and degrade to back-to-back above
+   it). *)
+let serve_client ~mode ~size ~schedule () =
+  let n = Array.length schedule in
+  let words =
+    Array.to_list schedule |> List.concat_map (fun (page, pace) -> [ page; pace ])
+  in
+  let pace_prologue, pace_epilogue =
+    match mode with
+    | `Open ->
+      (* delta = scheduled arrival - time(); nanosleep ignores delta <= 0 *)
+      ( [
+          I (Load (EBX, ESI, 4));
+          I (Mov_ri (EAX, 13));
+          I (Int 0x80);
+          I (Sub (EBX, EAX));
+          I (Mov_ri (EAX, 162));
+          I (Int 0x80);
+        ],
+        [] )
+    | `Closed ->
+      (* think between completing a response and the next request *)
+      ( [],
+        [ I (Load (EBX, ESI, 4)); I (Mov_ri (EAX, 162)); I (Int 0x80) ] )
+  in
+  Kernel.Image.build ~name:"serve-client" ~bss_size:8192
+    ~rodata:[ L "sched"; Words words ]
+    ~data:(fun ~lbl:_ -> [ L "req"; Space 8 ])
+    ~code:(fun ~lbl ->
+      [
+        L "main";
+        I (Mov_ri (ESI, lbl "sched"));
+        I (Mov_ri (EDI, n));
+        L "req_loop";
+        I (Cmp_ri (EDI, 0));
+        I (Jz (Lbl "done"));
+      ]
+      @ pace_prologue
+      @ [
+          (* stamp the schedule's page offset into the 4-byte request *)
+          I (Load (EAX, ESI, 0));
+          I (Mov_ri (EBX, lbl "req"));
+          I (Store (EBX, 0, EAX));
+        ]
+      @ Guest.sys_write_imm ~fd:1 ~buf:(lbl "req") ~len:4 ()
+      @ [
+          I (Cmp_ri (EAX, 1));
+          I (Jl (Lbl "done"));
+          (* drain the full response *)
+          I (Mov_ri (EBP, size));
+          L "rd";
+          I (Mov_ri (EAX, 3));
+          I (Mov_ri (EBX, 0));
+          I (Mov_ri (ECX, lbl "bss"));
+          I (Mov_ri (EDX, 4096));
+          I (Int 0x80);
+          I (Cmp_ri (EAX, 0));
+          I (Jz (Lbl "done"));
+          I (Sub (EBP, EAX));
+          I (Cmp_ri (EBP, 1));
+          I (Jge (Lbl "rd"));
+        ]
+      @ pace_epilogue
+      @ [ I (Add_ri (ESI, 8)); I (Add_ri (EDI, -1)); I (Jmp (Lbl "req_loop")); L "done" ]
+      @ Guest.sys_exit 0)
+    ~entry:"main" ()

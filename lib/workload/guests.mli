@@ -68,3 +68,21 @@ val scale_unit : ?ro_pages:int -> ?rounds:int -> unit -> Kernel.Image.t
     times, then exit. All image-backed memory is read-only, so under
     loader COW ([share_images]) N identical instances share every image
     frame — the sublinear-memory demonstrator for 10k-process machines. *)
+
+val serve_server : ?ws_pages:int -> size:int -> unit -> Kernel.Image.t
+(** Serving-benchmark server: [apache_server]'s shape, but each request
+    carries a byte offset into a [ws_pages]-page popularity-addressed
+    working set (the load generator's Zipf pick), so the handler's memory
+    traffic follows the offered load. Responds with [size] bytes. *)
+
+val serve_client :
+  mode:[ `Closed | `Open ] ->
+  size:int ->
+  schedule:(int * int) array ->
+  unit ->
+  Kernel.Image.t
+(** Serving-benchmark client replaying a precomputed schedule of
+    (page_byte_offset, pace) pairs from rodata. Closed-loop pace = think
+    cycles slept after draining each response; open-loop pace = absolute
+    release cycle, held via time() + nanosleep (degrades to back-to-back
+    past saturation). Expects [size]-byte responses on fd 0/1. *)

@@ -31,4 +31,5 @@ let () =
       ("reuse", Test_reuse.suite);
       ("prof", Test_prof.suite);
       ("bbcache", Test_bbcache.suite);
+      ("serve", Test_serve.suite);
     ]

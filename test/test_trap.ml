@@ -146,12 +146,13 @@ let test_table_unknown () =
 let test_table_default () =
   let tbl = Kernel.Syscalls.default () in
   Alcotest.(check (list int)) "default numbers"
-    [ 1; 2; 3; 4; 6; 7; 11; 13; 20; 42; 45; 48; 90; 125; 137; 158 ]
+    [ 1; 2; 3; 4; 6; 7; 11; 13; 20; 42; 45; 48; 90; 125; 137; 158; 162 ]
     (Kernel.Syscalls.numbers tbl);
   List.iter
     (fun (n, name) ->
       Alcotest.(check string) (Fmt.str "name of %d" n) name (Kernel.Syscalls.name tbl n))
-    [ (1, "exit"); (2, "fork"); (4, "write"); (137, "uselib"); (158, "sched_yield") ];
+    [ (1, "exit"); (2, "fork"); (4, "write"); (137, "uselib"); (158, "sched_yield");
+      (162, "nanosleep") ];
   (* the facade's syscall_name is the same table *)
   Alcotest.(check string) "Os.syscall_name" "mmap" (Kernel.Os.syscall_name 90);
   Alcotest.(check string) "Os.syscall_name fallback" "sys_999" (Kernel.Os.syscall_name 999)
